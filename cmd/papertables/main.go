@@ -1,0 +1,46 @@
+// Command papertables prints the paper's configuration tables: Table 4.1
+// (simulated system parameters) and Table 4.2 (application input sizes),
+// for each supported input scale.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cfg := memsys.Default()
+	fmt.Println("Table 4.1 — Simulated system parameters")
+	rows := [][2]string{
+		{"Core", "2 GHz, in-order (1 cycle per non-memory instruction)"},
+		{"L1D Cache (private)", fmt.Sprintf("%d KB, %d-way set associative, %d byte cache lines",
+			cfg.L1Bytes/1024, cfg.L1Assoc, memsys.LineBytes)},
+		{"L2 Cache (shared)", fmt.Sprintf("%d KB slices (%d MB total), %d-way set associative, %d byte cache lines",
+			cfg.L2SliceBytes/1024, cfg.L2SliceBytes*cfg.Tiles/(1024*1024), cfg.L2Assoc, memsys.LineBytes)},
+		{"Network", fmt.Sprintf("%dx%d mesh, 16 byte links, %d cycle link latency, 1 control + %d data flits/packet",
+			cfg.MeshWidth, cfg.MeshHeight, cfg.LinkLatency, cfg.MaxDataFlits)},
+		{"Memory Controller", fmt.Sprintf("FR-FCFS scheduling, open page policy, %d corner-tile controllers", len(cfg.MCTiles))},
+		{"DRAM", fmt.Sprintf("DDR3-1066, %d banks, %d KB rows", cfg.DRAM.Banks, cfg.DRAM.RowBytes/1024)},
+		{"Store buffer", fmt.Sprintf("%d pending non-blocking writes per core", cfg.StoreBufferEntries)},
+		{"Write combining", fmt.Sprintf("%d entries, %d cycle timeout (DeNovo)", cfg.WriteCombineEntries, cfg.WriteCombineTimeout)},
+		{"Bloom filters", fmt.Sprintf("%d filters x %d entries per L2 slice (DBypFull)", cfg.Bloom.FiltersPerSlice, cfg.Bloom.Entries)},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %s\n", r[0], r[1])
+	}
+
+	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")
+	fmt.Printf("  %-14s %-12s %-12s %-12s\n", "application", "tiny", "small", "paper")
+	for _, name := range workloads.Names() {
+		fmt.Printf("  %-14s", name)
+		for _, size := range []workloads.Size{workloads.Tiny, workloads.Small, workloads.Paper} {
+			p := workloads.ByName(name, size, 16)
+			fmt.Printf(" %9.1f MB", float64(p.FootprintBytes())/(1024*1024))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nCache capacities scale with the input size (Config.Scaled) so the")
+	fmt.Println("working-set-to-capacity ratios match the paper's; see DESIGN.md.")
+}

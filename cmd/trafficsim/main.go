@@ -1,0 +1,95 @@
+// Command trafficsim reruns the paper's experiments and prints its figure
+// tables: the protocol x benchmark traffic/time/waste matrices of Figures
+// 5.1a-d, 5.2 and 5.3a-c, plus the headline paper-vs-measured summary.
+//
+// Examples:
+//
+//	trafficsim -fig 5.1a -size small
+//	trafficsim -fig all -size tiny -benchmarks FFT,radix
+//	trafficsim -summary -size small
+//	trafficsim -fig 5.2 -protocols MESI,MMemL1,DBypFull
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to print: 5.1a 5.1b 5.1c 5.1d 5.2 5.3a 5.3b 5.3c, or 'all'")
+	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
+	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
+	protoCSV := flag.String("protocols", "", "comma-separated protocol subset (default: all nine)")
+	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
+	threads := flag.Int("threads", 16, "worker threads (= cores used)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *fig == "" && !*summary {
+		*fig = "all"
+		*summary = true
+	}
+
+	var size workloads.Size
+	switch *sizeName {
+	case "tiny":
+		size = workloads.Tiny
+	case "small":
+		size = workloads.Small
+	case "paper":
+		size = workloads.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+
+	opt := core.MatrixOptions{Size: size, Threads: *threads}
+	if *protoCSV != "" {
+		opt.Protocols = splitCSV(*protoCSV)
+	}
+	if *benchCSV != "" {
+		opt.Benchmarks = splitCSV(*benchCSV)
+	}
+	if !*quiet {
+		opt.Progress = func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) }
+	}
+
+	m, err := core.RunMatrix(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = core.FigureIDs()
+	}
+	if *fig != "" {
+		for _, id := range ids {
+			t, err := m.Figure(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(t)
+		}
+	}
+	if *summary {
+		fmt.Println(m.Summarize())
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

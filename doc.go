@@ -1,0 +1,12 @@
+// Package repro reproduces "Eliminating on-chip traffic waste: are we
+// there yet?" (Smolinski): a 16-tile multicore memory-system simulator
+// with directory MESI and DeNovo protocol families, a mesh NoC, DDR3
+// DRAM, the paper's waste-classification methodology, six benchmark
+// workload generators, and a harness that regenerates every figure of
+// the evaluation (Figures 5.1a-d, 5.2, 5.3a-c).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The library entry point is internal/core (RunMatrix and the Figure
+// builders); cmd/trafficsim is the command-line front end.
+package repro

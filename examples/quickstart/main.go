@@ -1,0 +1,47 @@
+// Quickstart: run one benchmark under the MESI baseline and the fully
+// optimized DeNovo protocol (DBypFull), and print the headline comparison
+// the paper is about — how much on-chip traffic is wasted data movement
+// and how much of it the optimization stack removes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Inputs and caches scale together so working-set ratios match the
+	// paper (DESIGN.md). Tiny finishes in seconds.
+	size := workloads.Tiny
+	cfg := memsys.Default().Scaled(size.ScaleDiv())
+	prog := workloads.ByName("FFT", size, 16)
+
+	var results []*core.Result
+	for _, proto := range []string{"MESI", "DBypFull"} {
+		res, err := core.RunOne(cfg, proto, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	base := results[0]
+	fmt.Printf("benchmark: %s (%s scale, 16 cores)\n\n", prog.Name(), size)
+	fmt.Printf("%-10s %14s %12s %12s %12s\n", "protocol", "flit-hops", "vs MESI", "exec cycles", "waste share")
+	for _, r := range results {
+		fmt.Printf("%-10s %14.0f %11.1f%% %12d %11.1f%%\n",
+			r.Protocol, r.Total(), r.Total()/base.Total()*100, r.ExecCycles, r.WasteShare*100)
+	}
+
+	fmt.Println("\ntraffic by class (flit-hops):")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "protocol", "LD", "ST", "WB", "Overhead")
+	for _, r := range results {
+		fmt.Printf("%-10s %12.0f %12.0f %12.0f %12.0f\n", r.Protocol,
+			r.ClassTotal(memsys.ClassLD), r.ClassTotal(memsys.ClassST),
+			r.ClassTotal(memsys.ClassWB), r.ClassTotal(memsys.ClassOVH))
+	}
+}

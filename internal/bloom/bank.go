@@ -1,0 +1,144 @@
+package bloom
+
+// BankConfig describes the filter banks of §4.4.
+type BankConfig struct {
+	FiltersPerSlice int // number of Bloom filters at each L2 slice
+	Entries         int // entries per filter
+	Slices          int // number of L2 slices (tiles)
+	Seed            uint64
+}
+
+// DefaultBankConfig returns the paper's idealized geometry: 32 filters per
+// slice, 512 entries each, one H3 hash. For a 16-tile processor this is
+// 32*512*16 bits = 32 KB per L1 and 32*512*8 bits = 16 KB per L2 slice.
+func DefaultBankConfig(slices int) BankConfig {
+	return BankConfig{FiltersPerSlice: 32, Entries: 512, Slices: slices, Seed: 0xb10f}
+}
+
+// L2Bank is the set of counting Bloom filters at one L2 slice. It tracks
+// the line addresses that have dirty (registered or modified) words in that
+// slice's portion of the address space.
+type L2Bank struct {
+	cfg     BankConfig
+	sel     *H3
+	filters []*Counting
+}
+
+// NewL2Bank creates the counting-filter bank for one slice.
+func NewL2Bank(cfg BankConfig) *L2Bank {
+	sel := NewH3(cfg.Seed ^ 0x5e1ec7)
+	h := NewH3(cfg.Seed)
+	b := &L2Bank{cfg: cfg, sel: sel, filters: make([]*Counting, cfg.FiltersPerSlice)}
+	for i := range b.filters {
+		b.filters[i] = NewCounting(cfg.Entries, h)
+	}
+	return b
+}
+
+// FilterIndex returns which filter within a slice a line address maps to.
+func (b *L2Bank) FilterIndex(line uint32) int {
+	return int(b.sel.Hash(line)) % len(b.filters)
+}
+
+// Insert records that line now has dirty data in this slice.
+func (b *L2Bank) Insert(line uint32) { b.filters[b.FilterIndex(line)].Insert(line) }
+
+// Remove records that line no longer has dirty data in this slice.
+func (b *L2Bank) Remove(line uint32) { b.filters[b.FilterIndex(line)].Remove(line) }
+
+// MayContain reports whether line may have dirty data in this slice.
+func (b *L2Bank) MayContain(line uint32) bool {
+	return b.filters[b.FilterIndex(line)].MayContain(line)
+}
+
+// Snapshot returns a plain-filter copy of filter idx, as shipped to an L1
+// in a 64-byte Bloom-copy response.
+func (b *L2Bank) Snapshot(idx int) *Filter { return b.filters[idx].Snapshot() }
+
+// SizeBytes is the storage footprint of the bank (8-bit counters).
+func (b *L2Bank) SizeBytes() int {
+	n := 0
+	for _, f := range b.filters {
+		n += f.SizeBytes()
+	}
+	return n
+}
+
+// L1Bank is one L1 cache's conservative copy of every L2 slice's filters.
+// Filters are copied on demand (valid bits track which copies exist), local
+// writebacks are inserted eagerly, and everything is cleared at barriers.
+type L1Bank struct {
+	cfg     BankConfig
+	sel     *H3
+	h       *H3
+	filters [][]*Filter // [slice][filterIdx]
+	valid   [][]bool
+}
+
+// NewL1Bank creates the L1-side filter copies for all slices.
+func NewL1Bank(cfg BankConfig) *L1Bank {
+	b := &L1Bank{
+		cfg: cfg,
+		sel: NewH3(cfg.Seed ^ 0x5e1ec7),
+		h:   NewH3(cfg.Seed),
+	}
+	b.filters = make([][]*Filter, cfg.Slices)
+	b.valid = make([][]bool, cfg.Slices)
+	for s := range b.filters {
+		b.filters[s] = make([]*Filter, cfg.FiltersPerSlice)
+		b.valid[s] = make([]bool, cfg.FiltersPerSlice)
+		for i := range b.filters[s] {
+			b.filters[s][i] = NewFilter(cfg.Entries, b.h)
+		}
+	}
+	return b
+}
+
+// FilterIndex returns the per-slice filter index for a line address.
+func (b *L1Bank) FilterIndex(line uint32) int { return int(b.sel.Hash(line)) % b.cfg.FiltersPerSlice }
+
+// Query checks a line address against the copy for the line's home slice.
+// valid=false means the copy has not been fetched yet (the caller must
+// request a Bloom copy from the L2 before deciding).
+func (b *L1Bank) Query(slice int, line uint32) (valid, mayContain bool) {
+	i := b.FilterIndex(line)
+	if !b.valid[slice][i] {
+		return false, true
+	}
+	return true, b.filters[slice][i].MayContain(line)
+}
+
+// LoadCopy unions a snapshot received from slice's L2 into the local copy
+// and marks it valid.
+func (b *L1Bank) LoadCopy(slice, idx int, snap *Filter) {
+	b.filters[slice][idx].Union(snap)
+	b.valid[slice][idx] = true
+}
+
+// InsertLocal records a local writeback of line (whose home is slice) so
+// the copy stays conservative without refetching.
+func (b *L1Bank) InsertLocal(slice int, line uint32) {
+	i := b.FilterIndex(line)
+	b.filters[slice][i].Insert(line)
+}
+
+// ClearAll resets every copy and valid bit (done at barriers).
+func (b *L1Bank) ClearAll() {
+	for s := range b.filters {
+		for i := range b.filters[s] {
+			b.filters[s][i].Clear()
+			b.valid[s][i] = false
+		}
+	}
+}
+
+// SizeBytes is the storage footprint of all copies (1-bit entries).
+func (b *L1Bank) SizeBytes() int {
+	n := 0
+	for _, fs := range b.filters {
+		for _, f := range fs {
+			n += f.SizeBytes()
+		}
+	}
+	return n
+}

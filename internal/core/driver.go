@@ -1,0 +1,215 @@
+// Package core assembles the full simulated system and drives it: in-order
+// cores executing workload op streams against a coherence protocol over
+// the mesh/DRAM substrate, with barrier synchronization, the Figure 5.2
+// execution-time breakdown, and a functional oracle that checks every load
+// returns the value of its unique last writer (the data-race-free
+// semantics both protocols must preserve).
+//
+// It also hosts the protocol registry (the nine configurations of §3.2 and
+// §3.3) and the experiment harness that regenerates the paper's figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+)
+
+// Runner executes one program under one protocol on one Env.
+type Runner struct {
+	env   *memsys.Env
+	proto memsys.Protocol
+	prog  memsys.Program
+
+	Times []memsys.TimeBreakdown // per-core Figure 5.2 accounting
+
+	oracle     []uint32
+	valCounter uint32
+	oracleErr  error
+
+	// ViolationAddr is the address of the first oracle violation, if any
+	// (diagnostics). OnViolation, when set, fires at violation time so
+	// tests can snapshot protocol state before it changes.
+	ViolationAddr uint32
+	OnViolation   func(addr uint32)
+
+	phase        int
+	arrived      int
+	measureStart int64
+	execCycles   int64
+	finished     bool
+
+	cores []coreState
+}
+
+type coreState struct {
+	ops          []memsys.Op
+	pc           int
+	barrierEnter int64
+	stallStart   int64
+	storeStalled bool
+	storeAddr    uint32
+	storeVal     uint32
+	active       bool
+}
+
+// NewRunner wires a program and protocol onto an environment. The
+// protocol must already be registered on env's mesh.
+func NewRunner(env *memsys.Env, proto memsys.Protocol, prog memsys.Program) *Runner {
+	r := &Runner{
+		env:    env,
+		proto:  proto,
+		prog:   prog,
+		Times:  make([]memsys.TimeBreakdown, prog.Threads()),
+		oracle: make([]uint32, len(env.Mem)),
+		cores:  make([]coreState, prog.Threads()),
+	}
+	for c := 0; c < prog.Threads(); c++ {
+		c := c
+		proto.SetStoreUnstall(c, func() { r.retryStore(c) })
+	}
+	return r
+}
+
+// MaxSteps bounds a Run as a livelock watchdog (0 = default bound).
+var MaxSteps uint64 = 2_000_000_000
+
+// Run executes every phase to completion. It returns an error if the
+// simulation deadlocks, livelocks, or the functional oracle detects a
+// wrong value.
+func (r *Runner) Run() error {
+	r.beginPhase(0)
+	for !r.finished {
+		if r.env.K.RunLimit(1_000_000) == 0 {
+			break // queue drained
+		}
+		if r.env.K.Steps() > MaxSteps {
+			return fmt.Errorf("core: livelock in %s/%s at phase %d (cycle %d, %d events)",
+				r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now(), r.env.K.Steps())
+		}
+	}
+	if !r.finished {
+		return fmt.Errorf("core: deadlock in %s/%s at phase %d (cycle %d)",
+			r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now())
+	}
+	r.env.K.Run() // drain trailing protocol events (acks, writebacks)
+	return r.oracleErr
+}
+
+// ExecCycles returns the measured-region execution time.
+func (r *Runner) ExecCycles() int64 { return r.execCycles }
+
+func (r *Runner) beginPhase(p int) {
+	r.phase = p
+	r.arrived = 0
+	if p == r.prog.WarmupPhases() {
+		r.env.StartMeasurement()
+		r.measureStart = r.env.K.Now()
+		for i := range r.Times {
+			r.Times[i] = memsys.TimeBreakdown{}
+		}
+	}
+	for c := 0; c < r.prog.Threads(); c++ {
+		cs := &r.cores[c]
+		cs.ops = cs.ops[:0]
+		r.prog.EmitOps(p, c, func(o memsys.Op) { cs.ops = append(cs.ops, o) })
+		cs.pc = 0
+		cs.active = true
+		c := c
+		r.env.K.After(0, func() { r.step(c) })
+	}
+}
+
+// step runs ops for a core until it blocks (load, compute, store-buffer
+// full) or reaches the phase barrier.
+func (r *Runner) step(c int) {
+	cs := &r.cores[c]
+	for {
+		if cs.pc >= len(cs.ops) {
+			r.enterBarrier(c)
+			return
+		}
+		op := cs.ops[cs.pc]
+		cs.pc++
+		switch op.Kind {
+		case memsys.OpCompute:
+			r.Times[c].Busy += int64(op.Cycles)
+			r.env.K.After(int64(op.Cycles), func() { r.step(c) })
+			return
+		case memsys.OpLoad:
+			t0 := r.env.K.Now()
+			expect := r.oracle[op.Addr>>2]
+			r.proto.Load(c, op.Addr, func(val uint32, s memsys.Sample) {
+				if val != expect && r.oracleErr == nil {
+					r.oracleErr = fmt.Errorf(
+						"core: oracle violation %s/%s: core %d load %#x = %d, want %d (phase %d, cycle %d)",
+						r.proto.Name(), r.prog.Name(), c, op.Addr, val, expect, r.phase, r.env.K.Now())
+					r.ViolationAddr = op.Addr
+					if r.OnViolation != nil {
+						r.OnViolation(op.Addr)
+					}
+				}
+				stall := r.env.K.Now() - t0
+				if s.Point == memsys.PointL1 {
+					r.Times[c].Busy += stall // pipelined L1 hit
+				} else {
+					r.Times[c].AddStall(stall, s)
+				}
+				r.step(c)
+			})
+			return
+		case memsys.OpStore:
+			r.valCounter++
+			val := r.valCounter
+			r.oracle[op.Addr>>2] = val
+			if !r.proto.Store(c, op.Addr, val) {
+				cs.storeStalled = true
+				cs.storeAddr, cs.storeVal = op.Addr, val
+				cs.stallStart = r.env.K.Now()
+				return
+			}
+		}
+	}
+}
+
+// retryStore resumes a core blocked on a full store buffer.
+func (r *Runner) retryStore(c int) {
+	cs := &r.cores[c]
+	if !cs.storeStalled {
+		return
+	}
+	if !r.proto.Store(c, cs.storeAddr, cs.storeVal) {
+		return // still full; the next unstall will retry
+	}
+	r.Times[c].OnChip += r.env.K.Now() - cs.stallStart
+	cs.storeStalled = false
+	r.step(c)
+}
+
+func (r *Runner) enterBarrier(c int) {
+	cs := &r.cores[c]
+	cs.active = false
+	cs.barrierEnter = r.env.K.Now()
+	r.proto.Drain(c, func() { r.coreArrived(c) })
+}
+
+func (r *Runner) coreArrived(c int) {
+	r.arrived++
+	if r.arrived < r.prog.Threads() {
+		return
+	}
+	// Barrier release: everyone pays sync time up to now.
+	now := r.env.K.Now()
+	for i := range r.cores {
+		r.Times[i].Sync += now - r.cores[i].barrierEnter
+	}
+	r.proto.AtBarrier(r.prog.WrittenRegions(r.phase))
+	next := r.phase + 1
+	if next >= r.prog.Phases() {
+		r.finished = true
+		r.execCycles = now - r.measureStart
+		r.env.Prof.Finish()
+		return
+	}
+	r.beginPhase(next)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/denovo"
+	"repro/internal/memsys"
+	"repro/internal/mesi"
+	"repro/internal/waste"
+	"repro/internal/workloads"
+)
+
+// ProtocolNames lists the nine configurations of §3.2/§3.3 in the paper's
+// figure order.
+func ProtocolNames() []string {
+	return []string{
+		"MESI", "MMemL1",
+		"DeNovo", "DFlexL1", "DValidateL2", "DMemL1", "DFlexL2", "DBypL2", "DBypFull",
+	}
+}
+
+// NewProtocol instantiates a protocol engine by configuration name on an
+// environment (registering its tiles on the mesh).
+func NewProtocol(env *memsys.Env, name string) (memsys.Protocol, error) {
+	switch name {
+	case "MESI":
+		return mesi.New(env, mesi.Options{}), nil
+	case "MMemL1":
+		return mesi.New(env, mesi.Options{MemToL1: true}), nil
+	default:
+		opt, ok := denovo.VariantByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown protocol %q", name)
+		}
+		return denovo.New(env, opt), nil
+	}
+}
+
+// Result is one (protocol, benchmark) measurement, detached from its Env.
+type Result struct {
+	Protocol  string
+	Benchmark string
+
+	FlitHops   [memsys.NumClasses][memsys.NumBuckets]float64
+	Waste      [3][8]uint64 // [waste.Level][waste.Category] words
+	ExecCycles int64
+	Time       memsys.TimeBreakdown // summed over cores
+	WasteShare float64
+}
+
+// ClassTotal sums a traffic class.
+func (r *Result) ClassTotal(c memsys.Class) float64 {
+	var s float64
+	for b := memsys.Bucket(0); b < memsys.NumBuckets; b++ {
+		s += r.FlitHops[c][b]
+	}
+	return s
+}
+
+// Total sums all traffic.
+func (r *Result) Total() float64 {
+	var s float64
+	for c := memsys.Class(0); c < memsys.NumClasses; c++ {
+		s += r.ClassTotal(c)
+	}
+	return s
+}
+
+// WasteTotal sums the measured words fetched into a level.
+func (r *Result) WasteTotal(level waste.Level) uint64 {
+	var s uint64
+	for _, c := range waste.Categories {
+		s += r.Waste[level][c]
+	}
+	return s
+}
+
+// RunOne simulates one benchmark under one protocol configuration and
+// returns the detached measurement.
+func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, error) {
+	env, err := memsys.NewEnv(cfg, prog.FootprintBytes(), prog.Regions())
+	if err != nil {
+		return nil, err
+	}
+	proto, err := NewProtocol(env, protoName)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRunner(env, proto, prog)
+	if err := r.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Protocol:   protoName,
+		Benchmark:  prog.Name(),
+		FlitHops:   env.Traffic.Snapshot(),
+		Waste:      env.Prof.Snapshot(),
+		ExecCycles: r.ExecCycles(),
+		WasteShare: env.Traffic.WasteShare(),
+	}
+	for _, tb := range r.Times {
+		res.Time.Busy += tb.Busy
+		res.Time.OnChip += tb.OnChip
+		res.Time.ToMC += tb.ToMC
+		res.Time.Mem += tb.Mem
+		res.Time.FromMC += tb.FromMC
+		res.Time.Sync += tb.Sync
+	}
+	return res, nil
+}
+
+// Matrix holds results for benchmarks x protocols, the unit every figure
+// is drawn from.
+type Matrix struct {
+	Size       workloads.Size
+	Benchmarks []string
+	Protocols  []string
+	Results    map[string]map[string]*Result // [benchmark][protocol]
+}
+
+// Get returns the result for (benchmark, protocol), or nil.
+func (m *Matrix) Get(bench, proto string) *Result {
+	if row := m.Results[bench]; row != nil {
+		return row[proto]
+	}
+	return nil
+}
+
+// MatrixOptions configures RunMatrix.
+type MatrixOptions struct {
+	Size       workloads.Size
+	Threads    int      // 0 = 16 (the paper's tile count)
+	Protocols  []string // nil = all nine
+	Benchmarks []string // nil = all six
+	// Progress, if set, is called before each run.
+	Progress func(bench, proto string)
+}
+
+// RunMatrix runs the full cross product used by Figures 5.1-5.3: each
+// benchmark under each protocol, with caches scaled to match the input
+// scale (see DESIGN.md).
+func RunMatrix(opt MatrixOptions) (*Matrix, error) {
+	if opt.Threads == 0 {
+		opt.Threads = 16
+	}
+	if opt.Protocols == nil {
+		opt.Protocols = ProtocolNames()
+	}
+	if opt.Benchmarks == nil {
+		opt.Benchmarks = workloads.Names()
+	}
+	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
+	m := &Matrix{
+		Size:       opt.Size,
+		Benchmarks: opt.Benchmarks,
+		Protocols:  opt.Protocols,
+		Results:    make(map[string]map[string]*Result),
+	}
+	for _, bench := range opt.Benchmarks {
+		m.Results[bench] = make(map[string]*Result)
+		for _, proto := range opt.Protocols {
+			if opt.Progress != nil {
+				opt.Progress(bench, proto)
+			}
+			prog := workloads.ByName(bench, opt.Size, opt.Threads)
+			if prog == nil {
+				return nil, fmt.Errorf("core: unknown benchmark %q", bench)
+			}
+			res, err := RunOne(cfg, proto, prog)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%s: %w", proto, bench, err)
+			}
+			m.Results[bench][proto] = res
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memsys"
+	"repro/internal/waste"
+)
+
+// Table is a rendered figure: one row per (benchmark, protocol) with
+// stacked category values normalized to the benchmark's MESI baseline
+// (percent), mirroring the paper's stacked bar charts.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one bar of a figure.
+type TableRow struct {
+	Bench    string
+	Protocol string
+	Values   []float64 // percent of the MESI baseline
+}
+
+// Total returns the stacked height of the row.
+func (r *TableRow) Total() float64 {
+	var s float64
+	for _, v := range r.Values {
+		s += v
+	}
+	return s
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-14s %-12s", "benchmark", "protocol")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	fmt.Fprintf(&b, " %9s\n", "Total")
+	prev := ""
+	for _, r := range t.Rows {
+		bench := r.Bench
+		if bench == prev {
+			bench = ""
+		} else if prev != "" {
+			b.WriteString("\n")
+		}
+		prev = r.Bench
+		fmt.Fprintf(&b, "%-14s %-12s", bench, r.Protocol)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %13.1f%%", v)
+		}
+		fmt.Fprintf(&b, " %8.1f%%\n", r.Total())
+	}
+	return b.String()
+}
+
+func (m *Matrix) eachRow(fill func(res, base *Result) []float64) []TableRow {
+	var rows []TableRow
+	for _, bench := range m.Benchmarks {
+		base := m.Get(bench, "MESI")
+		if base == nil {
+			base = m.Get(bench, m.Protocols[0])
+		}
+		for _, proto := range m.Protocols {
+			res := m.Get(bench, proto)
+			if res == nil {
+				continue
+			}
+			rows = append(rows, TableRow{Bench: bench, Protocol: proto, Values: fill(res, base)})
+		}
+	}
+	return rows
+}
+
+func pct(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return v / base * 100
+}
+
+// Fig51a builds Figure 5.1a: overall network traffic (flit-hops) broken
+// into LD/ST/WB/Overhead, normalized to MESI.
+func (m *Matrix) Fig51a() *Table {
+	t := &Table{
+		ID:      "Fig 5.1a",
+		Title:   "Overall network traffic (normalized flit-hops)",
+		Columns: []string{"LD", "ST", "WB", "Overhead"},
+	}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		total := base.Total()
+		return []float64{
+			pct(res.ClassTotal(memsys.ClassLD), total),
+			pct(res.ClassTotal(memsys.ClassST), total),
+			pct(res.ClassTotal(memsys.ClassWB), total),
+			pct(res.ClassTotal(memsys.ClassOVH), total),
+		}
+	})
+	return t
+}
+
+var ldStColumns = []string{
+	"Req Ctl", "Resp Ctl", "Resp L1 Used", "Resp L1 Waste", "Resp L2 Used", "Resp L2 Waste",
+}
+
+var ldStBuckets = []memsys.Bucket{
+	memsys.BReqCtl, memsys.BRespCtl,
+	memsys.BRespL1Used, memsys.BRespL1Waste,
+	memsys.BRespL2Used, memsys.BRespL2Waste,
+}
+
+func (m *Matrix) classBreakdown(id, title string, class memsys.Class) *Table {
+	t := &Table{ID: id, Title: title, Columns: ldStColumns}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		total := base.ClassTotal(class)
+		vals := make([]float64, len(ldStBuckets))
+		for i, b := range ldStBuckets {
+			vals[i] = pct(res.FlitHops[class][b], total)
+		}
+		return vals
+	})
+	return t
+}
+
+// Fig51b builds Figure 5.1b: load traffic breakdown, normalized to MESI's
+// load traffic.
+func (m *Matrix) Fig51b() *Table {
+	return m.classBreakdown("Fig 5.1b", "LD network traffic breakdown", memsys.ClassLD)
+}
+
+// Fig51c builds Figure 5.1c: store traffic breakdown.
+func (m *Matrix) Fig51c() *Table {
+	return m.classBreakdown("Fig 5.1c", "ST network traffic breakdown", memsys.ClassST)
+}
+
+// Fig51d builds Figure 5.1d: writeback traffic breakdown.
+func (m *Matrix) Fig51d() *Table {
+	t := &Table{
+		ID:      "Fig 5.1d",
+		Title:   "WB network traffic breakdown",
+		Columns: []string{"Control", "L2 Used", "L2 Waste", "Mem Used", "Mem Waste"},
+	}
+	buckets := []memsys.Bucket{
+		memsys.BWBCtl, memsys.BWBL2Used, memsys.BWBL2Waste,
+		memsys.BWBMemUsed, memsys.BWBMemWaste,
+	}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		total := base.ClassTotal(memsys.ClassWB)
+		vals := make([]float64, len(buckets))
+		for i, b := range buckets {
+			vals[i] = pct(res.FlitHops[memsys.ClassWB][b], total)
+		}
+		return vals
+	})
+	return t
+}
+
+// Fig52 builds Figure 5.2: execution time broken into Compute / On-chip
+// Hit / From MC / To MC / Mem / Sync, normalized to MESI.
+func (m *Matrix) Fig52() *Table {
+	t := &Table{
+		ID:      "Fig 5.2",
+		Title:   "Execution time (normalized)",
+		Columns: []string{"Compute", "On-chip Hit", "From MC", "To MC", "Mem", "Sync"},
+	}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		total := float64(base.Time.Total())
+		return []float64{
+			pct(float64(res.Time.Busy), total),
+			pct(float64(res.Time.OnChip), total),
+			pct(float64(res.Time.FromMC), total),
+			pct(float64(res.Time.ToMC), total),
+			pct(float64(res.Time.Mem), total),
+			pct(float64(res.Time.Sync), total),
+		}
+	})
+	return t
+}
+
+// fetchWaste builds a Figure 5.3 panel: words fetched into a level,
+// partitioned by waste category, normalized to MESI.
+func (m *Matrix) fetchWaste(id, title string, level waste.Level, withExcess bool) *Table {
+	cats := []waste.Category{
+		waste.Used, waste.Fetch, waste.Write, waste.Invalidate, waste.Evict, waste.Unevicted,
+	}
+	cols := []string{"Used", "Fetch", "Write", "Invalidate", "Evict", "Unevicted"}
+	if withExcess {
+		cats = append(cats, waste.Excess)
+		cols = append(cols, "Excess")
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		total := float64(base.WasteTotal(level))
+		vals := make([]float64, len(cats))
+		for i, c := range cats {
+			vals[i] = pct(float64(res.Waste[level][c]), total)
+		}
+		return vals
+	})
+	return t
+}
+
+// Fig53a builds Figure 5.3a: L1 fetch waste.
+func (m *Matrix) Fig53a() *Table {
+	return m.fetchWaste("Fig 5.3a", "Words fetched into the L1 by waste category", waste.LevelL1, false)
+}
+
+// Fig53b builds Figure 5.3b: L2 fetch waste.
+func (m *Matrix) Fig53b() *Table {
+	return m.fetchWaste("Fig 5.3b", "Words fetched into the L2 (from memory) by waste category", waste.LevelL2, false)
+}
+
+// Fig53c builds Figure 5.3c: memory fetch waste, including the Excess
+// waste the L2 Flex optimization drops at the memory controller.
+func (m *Matrix) Fig53c() *Table {
+	return m.fetchWaste("Fig 5.3c", "Words fetched from memory by waste category", waste.LevelMem, true)
+}
+
+// Figure builds a figure table by the paper's figure id.
+func (m *Matrix) Figure(id string) (*Table, error) {
+	switch strings.ToLower(strings.TrimSpace(id)) {
+	case "5.1a", "fig5.1a":
+		return m.Fig51a(), nil
+	case "5.1b", "fig5.1b":
+		return m.Fig51b(), nil
+	case "5.1c", "fig5.1c":
+		return m.Fig51c(), nil
+	case "5.1d", "fig5.1d":
+		return m.Fig51d(), nil
+	case "5.2", "fig5.2":
+		return m.Fig52(), nil
+	case "5.3a", "fig5.3a":
+		return m.Fig53a(), nil
+	case "5.3b", "fig5.3b":
+		return m.Fig53b(), nil
+	case "5.3c", "fig5.3c":
+		return m.Fig53c(), nil
+	}
+	return nil, fmt.Errorf("core: unknown figure %q", id)
+}
+
+// FigureIDs lists the reproducible figure ids.
+func FigureIDs() []string {
+	return []string{"5.1a", "5.1b", "5.1c", "5.1d", "5.2", "5.3a", "5.3b", "5.3c"}
+}
+
+// Summary holds the paper's headline averages (§5.1, §5.2.4, §7) as
+// measured by a matrix, with the paper's own values for comparison.
+type Summary struct {
+	// Average traffic reductions (fraction, e.g. 0.395 = 39.5%).
+	TrafficDBypFullVsMESI    float64 // paper: 0.395
+	TrafficDBypFullVsMMemL1  float64 // paper: 0.352
+	TrafficDBypFullVsDFlexL1 float64 // paper: 0.189
+	TrafficDeNovoVsMESI      float64 // paper: 0.139
+	TrafficMMemL1VsMESI      float64 // paper: 0.062
+	// Average execution-time reductions.
+	TimeDBypFullVsMESI   float64 // paper: 0.105
+	TimeDBypFullVsMMemL1 float64 // paper: 0.071
+	TimeMMemL1VsMESI     float64 // paper: 0.038
+	// Remaining waste share of DBypFull traffic. paper: 0.088
+	DBypFullWasteShare float64
+	// MESI overhead share of total traffic. paper: 0.136
+	MESIOverheadShare float64
+	// MESI overhead split (fractions of overhead). paper: 0.653/0.261/0.044/0.043
+	MESIOverheadUnblock float64
+	MESIOverheadWBCtl   float64
+	MESIOverheadInval   float64
+	MESIOverheadAck     float64
+}
+
+// avgReduction averages 1 - a/b across benchmarks for a metric.
+func (m *Matrix) avgReduction(protoA, protoB string, metric func(*Result) float64) float64 {
+	var sum float64
+	n := 0
+	for _, bench := range m.Benchmarks {
+		a, b := m.Get(bench, protoA), m.Get(bench, protoB)
+		if a == nil || b == nil || metric(b) == 0 {
+			continue
+		}
+		sum += 1 - metric(a)/metric(b)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (m *Matrix) avgOf(proto string, metric func(*Result) float64) float64 {
+	var sum float64
+	n := 0
+	for _, bench := range m.Benchmarks {
+		if r := m.Get(bench, proto); r != nil {
+			sum += metric(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Summarize computes the headline averages from a full matrix.
+func (m *Matrix) Summarize() *Summary {
+	traffic := func(r *Result) float64 { return r.Total() }
+	time := func(r *Result) float64 { return float64(r.ExecCycles) }
+	s := &Summary{
+		TrafficDBypFullVsMESI:    m.avgReduction("DBypFull", "MESI", traffic),
+		TrafficDBypFullVsMMemL1:  m.avgReduction("DBypFull", "MMemL1", traffic),
+		TrafficDBypFullVsDFlexL1: m.avgReduction("DBypFull", "DFlexL1", traffic),
+		TrafficDeNovoVsMESI:      m.avgReduction("DeNovo", "MESI", traffic),
+		TrafficMMemL1VsMESI:      m.avgReduction("MMemL1", "MESI", traffic),
+		TimeDBypFullVsMESI:       m.avgReduction("DBypFull", "MESI", time),
+		TimeDBypFullVsMMemL1:     m.avgReduction("DBypFull", "MMemL1", time),
+		TimeMMemL1VsMESI:         m.avgReduction("MMemL1", "MESI", time),
+		DBypFullWasteShare:       m.avgOf("DBypFull", func(r *Result) float64 { return r.WasteShare }),
+	}
+	s.MESIOverheadShare = m.avgOf("MESI", func(r *Result) float64 {
+		t := r.Total()
+		if t == 0 {
+			return 0
+		}
+		return r.ClassTotal(memsys.ClassOVH) / t
+	})
+	var unb, wbc, inv, ack, ovh float64
+	for _, bench := range m.Benchmarks {
+		if r := m.Get(bench, "MESI"); r != nil {
+			unb += r.FlitHops[memsys.ClassOVH][memsys.BOvhUnblock]
+			wbc += r.FlitHops[memsys.ClassOVH][memsys.BOvhWBCtl]
+			inv += r.FlitHops[memsys.ClassOVH][memsys.BOvhInval]
+			ack += r.FlitHops[memsys.ClassOVH][memsys.BOvhAck]
+			ovh += r.ClassTotal(memsys.ClassOVH)
+		}
+	}
+	if ovh > 0 {
+		s.MESIOverheadUnblock = unb / ovh
+		s.MESIOverheadWBCtl = wbc / ovh
+		s.MESIOverheadInval = inv / ovh
+		s.MESIOverheadAck = ack / ovh
+	}
+	return s
+}
+
+// String renders the summary as paper-vs-measured lines.
+func (s *Summary) String() string {
+	var b strings.Builder
+	line := func(name string, measured, paper float64) {
+		fmt.Fprintf(&b, "%-42s measured %6.1f%%   paper %6.1f%%\n", name, measured*100, paper*100)
+	}
+	b.WriteString("Headline averages (paper §5.1, §5.2.4, §7):\n")
+	line("traffic: DBypFull vs MESI", s.TrafficDBypFullVsMESI, 0.395)
+	line("traffic: DBypFull vs MMemL1", s.TrafficDBypFullVsMMemL1, 0.352)
+	line("traffic: DBypFull vs DFlexL1", s.TrafficDBypFullVsDFlexL1, 0.189)
+	line("traffic: DeNovo vs MESI", s.TrafficDeNovoVsMESI, 0.139)
+	line("traffic: MMemL1 vs MESI", s.TrafficMMemL1VsMESI, 0.062)
+	line("exec time: DBypFull vs MESI", s.TimeDBypFullVsMESI, 0.105)
+	line("exec time: DBypFull vs MMemL1", s.TimeDBypFullVsMMemL1, 0.071)
+	line("exec time: MMemL1 vs MESI", s.TimeMMemL1VsMESI, 0.038)
+	line("DBypFull remaining waste share", s.DBypFullWasteShare, 0.088)
+	line("MESI overhead share of traffic", s.MESIOverheadShare, 0.136)
+	line("MESI overhead: unblock", s.MESIOverheadUnblock, 0.653)
+	line("MESI overhead: WB control", s.MESIOverheadWBCtl, 0.261)
+	line("MESI overhead: invalidations", s.MESIOverheadInval, 0.044)
+	line("MESI overhead: acks", s.MESIOverheadAck, 0.043)
+	return b.String()
+}

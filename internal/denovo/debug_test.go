@@ -1,0 +1,68 @@
+package denovo_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/denovo"
+	"repro/internal/memsys"
+	"repro/internal/workloads"
+)
+
+// TestDiagnostics runs the trickiest workload/variant pair and dumps the
+// protocol state on deadlock or an oracle violation.
+func TestDiagnostics(t *testing.T) {
+	prog := workloads.ByName("radix", workloads.Tiny, 16)
+	env, err := memsys.NewEnv(testConfig(), prog.FootprintBytes(), prog.Regions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := denovo.VariantByName("DeNovo")
+	sys := denovo.New(env, opt)
+	r := core.NewRunner(env, sys, prog)
+	old := core.MaxSteps
+	core.MaxSteps = 50_000_000
+	defer func() { core.MaxSteps = old }()
+	if err := r.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, sys.DebugState())
+	}
+}
+
+// scriptProgram mirrors the mesi test helper for directed scenarios.
+type scriptProgram struct {
+	name    string
+	threads int
+	foot    uint32
+	regions []memsys.Region
+	phases  [][][]memsys.Op
+	written [][]uint8
+	warmup  int
+}
+
+func (s *scriptProgram) Name() string             { return s.name }
+func (s *scriptProgram) Threads() int             { return s.threads }
+func (s *scriptProgram) FootprintBytes() uint32   { return s.foot }
+func (s *scriptProgram) Regions() []memsys.Region { return s.regions }
+func (s *scriptProgram) Phases() int              { return len(s.phases) }
+func (s *scriptProgram) WarmupPhases() int        { return s.warmup }
+func (s *scriptProgram) WrittenRegions(p int) []uint8 {
+	if s.written == nil {
+		return nil
+	}
+	return s.written[p]
+}
+func (s *scriptProgram) EmitOps(p, t int, emit func(memsys.Op)) {
+	for _, op := range s.phases[p][t] {
+		emit(op)
+	}
+}
+
+func ld(addr uint32) memsys.Op { return memsys.Op{Kind: memsys.OpLoad, Addr: addr} }
+func st(addr uint32) memsys.Op { return memsys.Op{Kind: memsys.OpStore, Addr: addr} }
+
+// pad extends a per-thread op table to 16 threads.
+func pad(perThread ...[]memsys.Op) [][]memsys.Op {
+	out := make([][]memsys.Op, 16)
+	copy(out, perThread)
+	return out
+}

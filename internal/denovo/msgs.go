@@ -1,0 +1,166 @@
+package denovo
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/memsys"
+)
+
+// L1 per-word states (cache.Line.WState).
+const (
+	wInvalid uint8 = iota
+	wValid
+	wRegistered // written and registered (or registration pending)
+)
+
+// L2 per-word states (low bits of WState); l2Dirty marks words newer than
+// memory (written back from an L1).
+const (
+	l2Invalid uint8 = iota
+	l2Valid
+	l2Registered
+	l2StateMask uint8 = 0x3
+	l2Dirty     uint8 = 0x4
+)
+
+const lineWords = memsys.WordsPerLine
+
+// --- L1 -> home L2 ---
+
+// dvnLoadReq asks the home slice for a set of words. key is the critical
+// line, used to route responses back to the requestor's MSHR. Under Flex
+// the want set may span lines (the region's communication region).
+type dvnLoadReq struct {
+	key    uint32 // critical line
+	crit   uint32 // critical word address
+	from   int
+	wants  []uint32 // word addresses, critical word included
+	bypass bool     // region is L2-response-bypassed
+	flex   bool     // region has a communication region and Flex is on
+	tIssue int64
+}
+
+// dvnRegister records ownership of written words at the registry (§2).
+type dvnRegister struct {
+	line uint32
+	from int
+	mask uint16
+}
+
+type dvnRegAck struct {
+	line uint32
+	mask uint16
+}
+
+// dvnWB is a writeback of registered words, possibly combined with a
+// pending registration ("combined writeback and register message", §4.2).
+type dvnWB struct {
+	line uint32
+	from int
+	mask uint16 // words carried (registered or pending registration)
+	vals [lineWords]uint32
+}
+
+type dvnWBAck struct {
+	line uint32
+}
+
+// --- home L2 -> L1 ---
+
+// dvnData delivers word values to a requesting L1 (from the L2 array, a
+// remote owner, or the memory controller).
+type dvnData struct {
+	key     uint32
+	words   []uint32 // word addresses
+	vals    []uint32
+	minsts  []uint64
+	fromMem bool
+	tAtMC   int64
+	tDram   int64
+	hops    int
+}
+
+// dvnDeny tells the requestor that some flex-prefetch words will not be
+// delivered (not on-chip and outside the memory fetch scope).
+type dvnDeny struct {
+	key   uint32
+	words []uint32
+}
+
+// dvnFwdRead asks a registered owner to send words to the requestor.
+type dvnFwdRead struct {
+	key       uint32
+	requestor int
+	words     []uint32
+	tIssue    int64
+}
+
+// dvnInvalWord invalidates superseded copies at a previous registrant.
+type dvnInvalWord struct {
+	words []uint32
+}
+
+// dvnRecall asks an owner to surrender registered words for an L2
+// eviction; the owner invalidates its copies.
+type dvnRecall struct {
+	line uint32
+	mask uint16
+}
+
+type dvnRecallResp struct {
+	line uint32
+	from int
+	mask uint16
+	vals [lineWords]uint32
+}
+
+// dvnNack bounces a request for a line under eviction (§5.2.4: NACKs are
+// DeNovo's only baseline overhead).
+type dvnNack struct {
+	key  uint32
+	from int
+}
+
+// --- L2 / L1 <-> memory controller ---
+
+// dvnMemRead fetches words from memory. wants lists the word addresses to
+// return to the requestor (empty when only the L2 fill matters). noReturn
+// masks critical-line words that are dirty on-chip and must be filtered
+// (§3.1, "Memory Controller to L1 Transfer").
+type dvnMemRead struct {
+	key       uint32
+	critLine  uint32
+	wants     []uint32
+	noReturn  uint16
+	home      int
+	requestor int
+	direct    bool // respond to the requestor L1
+	fillL2    bool // send an L2 fill
+	flex      bool // drop non-wanted words as Excess (L2 Flex, §3.1)
+	class     memsys.Class
+	tIssue    int64
+}
+
+// dvnL2Fill installs memory data at the home slice.
+type dvnL2Fill struct {
+	line   uint32
+	mask   uint16
+	vals   [lineWords]uint32
+	minsts [lineWords]uint64
+	class  memsys.Class
+	hops   int
+	tAtMC  int64
+	tDram  int64
+}
+
+// --- Bloom filter copies (§4.4) ---
+
+type dvnBloomReq struct {
+	idx  int
+	from int
+}
+
+type dvnBloomResp struct {
+	idx   int
+	slice int
+	snap  *bloom.Filter
+}

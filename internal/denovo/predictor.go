@@ -1,0 +1,66 @@
+package denovo
+
+import "repro/internal/bloom"
+
+// bypassPredictor is a hardware-only alternative to the software-annotated
+// "L2 Response Bypass" of §3.1 — the follow-up study the paper names in
+// its related work: counter-based reuse/dead-block predictors in the
+// style of Kharbutli & Solihin and Gaur et al. decide, per line, whether
+// an incoming memory fill is worth caching at the L2.
+//
+// Mechanism: every L2 line tracks whether it was reused (served a request
+// from the array) while resident. At eviction the predictor trains a
+// table of saturating counters indexed by a hash of the line address:
+// never-reused lines push their counter toward "bypass", reused lines
+// pull it back. A memory fill whose counter has saturated is sent to the
+// requesting L1 only. Unlike the paper's software scheme the predictor
+// needs no programmer annotations and adapts to working-set changes, at
+// the cost of training time and aliasing.
+type bypassPredictor struct {
+	counters  []uint8
+	h         *bloom.H3
+	max       uint8
+	threshold uint8
+
+	// Telemetry.
+	Trained  uint64
+	Bypassed uint64
+}
+
+// predictorEntries is the per-slice table size (2-bit counters).
+const predictorEntries = 1024
+
+func newBypassPredictor() *bypassPredictor {
+	return &bypassPredictor{
+		counters:  make([]uint8, predictorEntries),
+		h:         bloom.NewH3(0xdead),
+		max:       3,
+		threshold: 2,
+	}
+}
+
+func (p *bypassPredictor) idx(line uint32) int {
+	return int(p.h.Hash(line)) % len(p.counters)
+}
+
+// train records the reuse outcome of an evicted line.
+func (p *bypassPredictor) train(line uint32, reused bool) {
+	p.Trained++
+	i := p.idx(line)
+	if reused {
+		if p.counters[i] > 0 {
+			p.counters[i]--
+		}
+	} else if p.counters[i] < p.max {
+		p.counters[i]++
+	}
+}
+
+// shouldBypass predicts whether a fill for line would see no L2 reuse.
+func (p *bypassPredictor) shouldBypass(line uint32) bool {
+	if p.counters[p.idx(line)] >= p.threshold {
+		p.Bypassed++
+		return true
+	}
+	return false
+}

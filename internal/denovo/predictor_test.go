@@ -1,0 +1,49 @@
+package denovo
+
+import "testing"
+
+func TestPredictorTrainsTowardBypass(t *testing.T) {
+	p := newBypassPredictor()
+	line := uint32(0x40)
+	if p.shouldBypass(line) {
+		t.Fatal("cold predictor must not bypass")
+	}
+	p.train(line, false) // dead once
+	if p.shouldBypass(line) {
+		t.Fatal("one dead eviction must not saturate")
+	}
+	p.train(line, false)
+	if !p.shouldBypass(line) {
+		t.Fatal("two dead evictions should predict bypass")
+	}
+	// Reuse pulls it back below the threshold.
+	p.train(line, true)
+	if p.shouldBypass(line) {
+		t.Fatal("reuse training did not recover the line")
+	}
+}
+
+func TestPredictorSaturation(t *testing.T) {
+	p := newBypassPredictor()
+	line := uint32(0x80)
+	for i := 0; i < 100; i++ {
+		p.train(line, false)
+	}
+	// Saturated at max: two reuse trainings must be enough to drop below
+	// the threshold from max=3 -> 1.
+	p.train(line, true)
+	p.train(line, true)
+	if p.shouldBypass(line) {
+		t.Fatal("counter did not saturate at max")
+	}
+}
+
+func TestPredictorTelemetry(t *testing.T) {
+	p := newBypassPredictor()
+	p.train(1, false)
+	p.train(1, false)
+	p.shouldBypass(1)
+	if p.Trained != 2 || p.Bypassed != 1 {
+		t.Fatalf("telemetry = %d/%d", p.Trained, p.Bypassed)
+	}
+}

@@ -1,0 +1,410 @@
+// Package denovo implements the DeNovo hardware-software coherence
+// protocol of Choi et al. and the thesis' optimization stack (§2, §3):
+//
+//   - word-level coherence: L1 words are Invalid, Valid or Registered;
+//     the shared L2 doubles as the registry, tracking per-word ownership;
+//   - no sharer lists, no invalidation broadcasts, no transient states:
+//     data-race-free software plus self-invalidation at barriers replace
+//     them (the written regions of the finished phase are invalidated in
+//     every L1, sparing registered words);
+//   - write-validate L1: stores complete locally and register
+//     asynchronously through a 32-entry write-combining table with a
+//     10,000-cycle timeout (§4.2);
+//   - optional L2 write-validate + dirty-words-only writebacks
+//     (DValidateL2), memory-controller-to-L1 transfer (DMemL1), Flex
+//     communication-granularity responses on-chip (DFlexL1) and at the MC
+//     (DFlexL2, with conventional line-granularity DRAM: dropped words
+//     are the Excess waste of Figure 5.3c), L2 response bypass (DBypL2)
+//     and Bloom-filter-guarded L2 request bypass (DBypFull, §4.4).
+package denovo
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/memsys"
+)
+
+// Options compose the protocol variants of §3.2.
+type Options struct {
+	Name       string
+	FlexL1     bool // Flex for on-chip responses
+	ValidateL2 bool // L2 write-validate + dirty-words-only L2->Mem WB
+	MemToL1    bool // MC sends data to L1 and L2 in parallel
+	FlexL2     bool // Flex applied at the memory controller
+	BypassResp bool // L2 response bypass for annotated regions
+	BypassReq  bool // L2 request bypass (Bloom filters)
+
+	// PredictBypass replaces the software bypass annotations with a
+	// hardware counter-based reuse predictor at each L2 slice — the
+	// hardware-only alternative the paper's related-work section names as
+	// follow-up study (see predictor.go). Extension beyond the paper's
+	// nine configurations.
+	PredictBypass bool
+}
+
+// Variants returns the paper's DeNovo configurations in figure order.
+func Variants() []Options {
+	return []Options{
+		{Name: "DeNovo"},
+		{Name: "DFlexL1", FlexL1: true},
+		{Name: "DValidateL2", ValidateL2: true},
+		{Name: "DMemL1", ValidateL2: true, MemToL1: true},
+		{Name: "DFlexL2", ValidateL2: true, MemToL1: true, FlexL1: true, FlexL2: true},
+		{Name: "DBypL2", ValidateL2: true, MemToL1: true, FlexL1: true, FlexL2: true, BypassResp: true},
+		{Name: "DBypFull", ValidateL2: true, MemToL1: true, FlexL1: true, FlexL2: true, BypassResp: true, BypassReq: true},
+	}
+}
+
+// ExtensionVariants returns configurations beyond the paper's set:
+// DBypHW swaps the software bypass annotations of DBypL2 for the
+// hardware reuse predictor.
+func ExtensionVariants() []Options {
+	return []Options{
+		{Name: "DBypHW", ValidateL2: true, MemToL1: true, FlexL1: true, FlexL2: true,
+			PredictBypass: true},
+	}
+}
+
+// VariantByName returns the named configuration (paper set first, then
+// extensions) and whether it exists.
+func VariantByName(name string) (Options, bool) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	for _, v := range ExtensionVariants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Options{}, false
+}
+
+// System is a complete DeNovo memory system over a memsys.Env.
+type System struct {
+	env *memsys.Env
+	opt Options
+	l1s []*l1Cache
+	l2s []*l2Slice
+}
+
+// New builds the protocol engine and registers its tiles on the mesh.
+func New(env *memsys.Env, opt Options) *System {
+	if opt.Name == "" {
+		opt.Name = "DeNovo"
+	}
+	s := &System{env: env, opt: opt}
+	n := env.Cfg.Tiles
+	s.l1s = make([]*l1Cache, n)
+	s.l2s = make([]*l2Slice, n)
+	for t := 0; t < n; t++ {
+		s.l1s[t] = newL1(s, t)
+		s.l2s[t] = newL2(s, t)
+		tile := t
+		env.Mesh.Register(tile, func(p any) { s.dispatch(tile, p) })
+	}
+	return s
+}
+
+// Name implements memsys.Protocol.
+func (s *System) Name() string { return s.opt.Name }
+
+// Load implements memsys.Protocol.
+func (s *System) Load(core int, addr uint32, done func(uint32, memsys.Sample)) {
+	s.l1s[core].load(addr, done)
+}
+
+// Store implements memsys.Protocol. DeNovo stores are write-validate:
+// they complete locally and never stall the core (§3.1).
+func (s *System) Store(core int, addr uint32, val uint32) bool {
+	s.l1s[core].store(addr, val)
+	return true
+}
+
+// SetStoreUnstall implements memsys.Protocol (unused: stores never stall).
+func (s *System) SetStoreUnstall(core int, fn func()) {}
+
+// Drain implements memsys.Protocol: flush the write-combining table and
+// wait for all registrations and writebacks to be acknowledged.
+func (s *System) Drain(core int, done func()) { s.l1s[core].drain(done) }
+
+// AtBarrier implements memsys.Protocol: self-invalidate the regions
+// written during the finished phase in every L1 and clear the L1 Bloom
+// filter copies (§2, §4.4).
+func (s *System) AtBarrier(written []uint8) {
+	for _, l1 := range s.l1s {
+		l1.selfInvalidate(written)
+		if s.opt.BypassReq {
+			l1.blooms.ClearAll()
+		}
+	}
+}
+
+func (s *System) dispatch(tile int, p any) {
+	switch m := p.(type) {
+	// L1-bound.
+	case *dvnData:
+		s.l1s[tile].handleData(m)
+	case *dvnDeny:
+		s.l1s[tile].handleDeny(m)
+	case *dvnFwdRead:
+		s.l1s[tile].handleFwdRead(m)
+	case *dvnInvalWord:
+		s.l1s[tile].handleInvalWord(m)
+	case *dvnRecall:
+		s.l1s[tile].handleRecall(m)
+	case *dvnRegAck:
+		s.l1s[tile].handleRegAck(m)
+	case *dvnWBAck:
+		s.l1s[tile].handleWBAck(m)
+	case *dvnNack:
+		s.l1s[tile].handleNack(m)
+	case *dvnBloomResp:
+		s.l1s[tile].handleBloomResp(m)
+	// L2-bound.
+	case *dvnLoadReq:
+		s.l2s[tile].handleLoadReq(m)
+	case *dvnRegister:
+		s.l2s[tile].handleRegister(m)
+	case *dvnWB:
+		s.l2s[tile].handleWB(m)
+	case *dvnRecallResp:
+		s.l2s[tile].handleRecallResp(m)
+	case *dvnL2Fill:
+		s.l2s[tile].handleL2Fill(m)
+	case *dvnBloomReq:
+		s.l2s[tile].handleBloomReq(m)
+	// MC-bound.
+	case *dvnMemRead:
+		s.handleMemRead(tile, m)
+	case *msgMemWBPartial:
+		s.handleMemWB(tile, m)
+	default:
+		panic(fmt.Sprintf("denovo: unknown message %T at tile %d", p, tile))
+	}
+}
+
+func (s *System) send(src, dst, flits int, payload any) int {
+	return s.env.Mesh.Send(src, dst, flits, payload)
+}
+
+// l2HasWord implements the Figure 4.3 "address present in L2?" check.
+func (s *System) l2HasWord(addr uint32) bool {
+	line := memsys.LineOf(addr)
+	sl := s.l2s[s.env.Cfg.HomeTile(line)]
+	ln := sl.c.Lookup(line)
+	if ln == nil {
+		return false
+	}
+	return ln.WState[memsys.WordIndex(addr)]&l2StateMask == l2Valid
+}
+
+// msgMemWBPartial writes a set of dirty words back to DRAM. With
+// ValidateL2 only the dirty words travel (partial DRAM writes, §3.1);
+// the baseline writes the full line.
+type msgMemWBPartial struct {
+	line uint32
+	mask uint16
+	vals [lineWords]uint32
+}
+
+// rowOf returns the DRAM row identifier of a line (for the L2 Flex
+// same-row constraint, §3.1).
+func (s *System) rowOf(line uint32) uint32 {
+	return (line << memsys.LineShift) / s.env.Cfg.DRAM.RowBytes
+}
+
+// handleMemRead services a fetch at an MC tile. It may read several lines
+// from DRAM (Flex prefetch within one row), filters dirty on-chip words,
+// applies the Flex communication region (dropping unsent words as Excess),
+// and responds to the L1 and/or the home L2.
+func (s *System) handleMemRead(tile int, m *dvnMemRead) {
+	env := s.env
+	ch := env.Chans[env.Cfg.Channel(m.critLine)]
+	tAtMC := env.K.Now()
+
+	// Decide which lines to fetch: always the critical line; with Flex at
+	// the MC, also other lines holding wanted words if they share the
+	// critical line's DRAM row (row activation is expensive, §3.1).
+	lines := []uint32{m.critLine}
+	if m.flex {
+		critRow := s.rowOf(m.critLine)
+		seen := map[uint32]bool{m.critLine: true}
+		for _, w := range m.wants {
+			ln := memsys.LineOf(w)
+			if !seen[ln] && s.rowOf(ln) == critRow {
+				seen[ln] = true
+				lines = append(lines, ln)
+			}
+		}
+	}
+	// Deny wanted words on lines we will not fetch.
+	var denied []uint32
+	fetched := map[uint32]bool{}
+	for _, ln := range lines {
+		fetched[ln] = true
+	}
+	for _, w := range m.wants {
+		if !fetched[memsys.LineOf(w)] {
+			denied = append(denied, w)
+		}
+	}
+
+	wantSet := map[uint32]bool{}
+	for _, w := range m.wants {
+		wantSet[w] = true
+	}
+
+	env.K.After(env.Cfg.MCLatency, func() {
+		remaining := len(lines)
+		var finish int64
+		for _, ln := range lines {
+			ln := ln
+			ch.Submit(&dram.Request{Addr: ln << memsys.LineShift, Done: func(f int64) {
+				if f > finish {
+					finish = f
+				}
+				remaining--
+				if remaining == 0 {
+					s.memReadDone(tile, m, lines, wantSet, denied, tAtMC, finish)
+				}
+			}})
+		}
+	})
+}
+
+// memReadDone assembles and sends the responses once DRAM delivers.
+func (s *System) memReadDone(tile int, m *dvnMemRead, lines []uint32, wantSet map[uint32]bool, denied []uint32, tAtMC, tDram int64) {
+	env := s.env
+	var words []uint32
+	var vals []uint32
+	var minsts []uint64
+	var fillOrder []*dvnL2Fill
+
+	for _, ln := range lines {
+		var fill *dvnL2Fill
+		if m.fillL2 {
+			fill = &dvnL2Fill{line: ln, class: m.class, tAtMC: tAtMC, tDram: tDram}
+			fillOrder = append(fillOrder, fill)
+		}
+		for w := 0; w < lineWords; w++ {
+			a := memsys.AddrOf(ln, w)
+			if ln == m.critLine && m.noReturn&(1<<w) != 0 {
+				continue // dirty on-chip: memory's copy is stale
+			}
+			sendL1 := wantSet[a] && m.direct
+			sendL2 := fill != nil && (!m.flex || wantSet[a])
+			if !sendL1 && !sendL2 {
+				if m.flex {
+					env.Prof.MemExcess(a) // fetched from DRAM, dropped here
+				}
+				continue
+			}
+			mi := env.Prof.MemFetch(a, s.l2HasWord(a))
+			if sendL1 {
+				words = append(words, a)
+				vals = append(vals, env.MemRead(a))
+				minsts = append(minsts, mi)
+			}
+			if sendL2 {
+				fill.mask |= 1 << w
+				fill.vals[w] = env.MemRead(a)
+				fill.minsts[w] = mi
+			}
+		}
+	}
+
+	if m.direct {
+		hops := env.Mesh.Hops(tile, m.requestor)
+		env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+		s.send(tile, m.requestor, 1+memsys.DataFlits(len(words)), &dvnData{
+			key: m.key, words: words, vals: vals, minsts: minsts,
+			fromMem: true, tAtMC: tAtMC, tDram: tDram, hops: hops,
+		})
+		if len(denied) > 0 {
+			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+			s.send(tile, m.requestor, 1, &dvnDeny{key: m.key, words: denied})
+		}
+	}
+	for _, fill := range fillOrder {
+		// Even an empty fill must be delivered: the home slice's fetch
+		// entry pins the line until the fill lands.
+		hops := env.Mesh.Hops(tile, m.home)
+		fill.hops = hops
+		env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+		s.send(tile, m.home, 1+memsys.DataFlits(popcount(fill.mask)), fill)
+	}
+}
+
+// handleMemWB commits dirty words to DRAM.
+func (s *System) handleMemWB(tile int, m *msgMemWBPartial) {
+	env := s.env
+	ch := env.Chans[env.Cfg.Channel(m.line)]
+	env.K.After(env.Cfg.MCLatency, func() {
+		for w := 0; w < lineWords; w++ {
+			if m.mask&(1<<w) != 0 {
+				env.MemWrite(memsys.AddrOf(m.line, w), m.vals[w])
+			}
+		}
+		ch.Submit(&dram.Request{Addr: m.line << memsys.LineShift, Write: true})
+	})
+}
+
+// CheckInvariants verifies protocol sanity at quiescence: every word
+// registered at an L2 is registered at exactly the recorded owner, no
+// in-flight transactions remain, and write-combining tables are empty.
+func (s *System) CheckInvariants() error {
+	for t, l1 := range s.l1s {
+		if len(l1.mshrs) != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover MSHRs", t, len(l1.mshrs))
+		}
+		if len(l1.wc) != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover WC entries", t, len(l1.wc))
+		}
+		if l1.pendingRegs != 0 {
+			return fmt.Errorf("denovo: tile %d has %d unacked registrations", t, l1.pendingRegs)
+		}
+		if len(l1.wbBuf) != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover victim buffers", t, len(l1.wbBuf))
+		}
+	}
+	var err error
+	for t, sl := range s.l2s {
+		if len(sl.busyEvict) != 0 {
+			return fmt.Errorf("denovo: slice %d has %d leftover evictions", t, len(sl.busyEvict))
+		}
+		_ = t
+	}
+	// Registration consistency.
+	for _, sl := range s.l2s {
+		sl.c.ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			for w := 0; w < lineWords; w++ {
+				if ln.WState[w]&l2StateMask != l2Registered {
+					continue
+				}
+				owner := int(ln.Owner[w])
+				ol := s.l1s[owner].c.Lookup(ln.Tag)
+				if ol == nil || ol.WState[w] != wRegistered {
+					err = fmt.Errorf("denovo: word %#x registered to %d who does not hold it",
+						memsys.AddrOf(ln.Tag, w), owner)
+					return
+				}
+			}
+		})
+	}
+	return err
+}
+
+func popcount(m uint16) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

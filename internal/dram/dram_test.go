@@ -1,0 +1,179 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newCh() (*sim.Kernel, *Channel) {
+	k := &sim.Kernel{}
+	return k, NewChannel(k, DefaultConfig())
+}
+
+func TestClosedBankRead(t *testing.T) {
+	k, c := newCh()
+	var fin int64
+	c.Submit(&Request{Addr: 0, Done: func(f int64) { fin = f }})
+	k.Run()
+	// Closed bank: TRCD + CL + TBurst = 26+26+15 = 67.
+	if fin != 67 {
+		t.Fatalf("closed-bank read finished at %d, want 67", fin)
+	}
+	if c.RowMisses != 1 || c.RowHits != 0 {
+		t.Fatalf("hits/misses = %d/%d", c.RowHits, c.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	k, c := newCh()
+	var f1, f2, f3 int64
+	c.Submit(&Request{Addr: 0, Done: func(f int64) { f1 = f }})
+	c.Submit(&Request{Addr: 64, Done: func(f int64) { f2 = f }}) // same row
+	k.Run()
+	hitLat := f2 - f1
+	// Row hit after a burst: CL+TBurst=41 but bus busy until f1, so the
+	// second finishes at f1 + max(TBurst, ...) — just require hit < miss.
+	k2 := &sim.Kernel{}
+	c2 := NewChannel(k2, DefaultConfig())
+	c2.Submit(&Request{Addr: 0, Done: func(f int64) { f1 = f }})
+	// conflicting row in same bank: row stride = RowBytes*Banks
+	conflict := DefaultConfig().RowBytes * uint32(DefaultConfig().Banks)
+	c2.Submit(&Request{Addr: conflict, Done: func(f int64) { f3 = f }})
+	k2.Run()
+	missLat := f3 - f1
+	if hitLat >= missLat {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", hitLat, missLat)
+	}
+	if c.RowHits != 1 {
+		t.Fatalf("RowHits = %d, want 1", c.RowHits)
+	}
+	if c2.RowMisses != 2 {
+		t.Fatalf("conflict RowMisses = %d, want 2", c2.RowMisses)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Two requests to different banks overlap more than two to one bank.
+	cfg := DefaultConfig()
+	run := func(a2 uint32) int64 {
+		k := &sim.Kernel{}
+		c := NewChannel(k, cfg)
+		c.Submit(&Request{Addr: 0})
+		c.Submit(&Request{Addr: a2})
+		k.Run()
+		return k.Now()
+	}
+	sameBank := run(cfg.RowBytes * uint32(cfg.Banks)) // same bank, diff row
+	diffBank := run(cfg.RowBytes)                     // next bank
+	if diffBank >= sameBank {
+		t.Fatalf("different banks (%d) not faster than same bank (%d)", diffBank, sameBank)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	cfg := DefaultConfig()
+	k := &sim.Kernel{}
+	c := NewChannel(k, cfg)
+	var order []string
+	// Open row 0 in bank 0.
+	c.Submit(&Request{Addr: 0, Done: func(int64) { order = append(order, "warm") }})
+	k.Run()
+	// Now enqueue: a row-conflict first, then a row-hit. While the bank is
+	// free, FR-FCFS should pick the row hit first.
+	conflict := cfg.RowBytes * uint32(cfg.Banks)
+	c.Submit(&Request{Addr: conflict, Done: func(int64) { order = append(order, "miss") }})
+	c.Submit(&Request{Addr: 64, Done: func(int64) { order = append(order, "hit") }})
+	k.Run()
+	if len(order) != 3 || order[1] != "hit" || order[2] != "miss" {
+		t.Fatalf("service order = %v, want hit before miss", order)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	k, c := newCh()
+	c.Submit(&Request{Addr: 0, Write: true})
+	c.Submit(&Request{Addr: 128})
+	k.Run()
+	if c.Writes != 1 || c.Reads != 1 {
+		t.Fatalf("reads/writes = %d/%d", c.Reads, c.Writes)
+	}
+	if c.BytesWritten != 64 || c.BytesRead != 64 {
+		t.Fatalf("bytes = %d/%d", c.BytesRead, c.BytesWritten)
+	}
+}
+
+func TestAllRequestsComplete(t *testing.T) {
+	k, c := newCh()
+	const n = 500
+	done := 0
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		c.Submit(&Request{
+			Addr:  uint32(rng.Intn(1<<20)) &^ 63,
+			Write: rng.Intn(3) == 0,
+			Done:  func(int64) { done++ },
+		})
+	}
+	k.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d requests", done, n)
+	}
+	if c.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", c.QueueLen())
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	// The data bus serializes bursts: n back-to-back row hits cannot finish
+	// faster than n*TBurst.
+	k, c := newCh()
+	const n = 64
+	for i := 0; i < n; i++ {
+		c.Submit(&Request{Addr: uint32(i * 64)}) // one row, all hits after first
+	}
+	k.Run()
+	min := int64(n) * DefaultConfig().TBurst
+	if k.Now() < min {
+		t.Fatalf("finished at %d, violates bus serialization bound %d", k.Now(), min)
+	}
+}
+
+func TestStreamingMostlyRowHits(t *testing.T) {
+	k, c := newCh()
+	lines := int(DefaultConfig().RowBytes / 64 * 4) // 4 rows worth
+	for i := 0; i < lines; i++ {
+		c.Submit(&Request{Addr: uint32(i * 64)})
+	}
+	k.Run()
+	if c.RowHits < uint64(lines)*9/10 {
+		t.Fatalf("streaming row hits = %d/%d, want >90%%", c.RowHits, lines)
+	}
+}
+
+func TestLateArrivalScheduled(t *testing.T) {
+	k, c := newCh()
+	done := 0
+	c.Submit(&Request{Addr: 0, Done: func(int64) { done++ }})
+	k.At(1000, func() {
+		c.Submit(&Request{Addr: 64, Done: func(int64) { done++ }})
+	})
+	k.Run()
+	if done != 2 {
+		t.Fatalf("late arrival not serviced: done=%d", done)
+	}
+}
+
+func BenchmarkChannelRandom(b *testing.B) {
+	k := &sim.Kernel{}
+	c := NewChannel(k, DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		c.Submit(&Request{Addr: uint32(rng.Intn(1<<24)) &^ 63})
+		if c.QueueLen() > 256 {
+			k.Run()
+		}
+	}
+	k.Run()
+}

@@ -1,0 +1,162 @@
+// Package memsys holds the shared memory-system framework: the simulated
+// system configuration (the paper's Table 4.1), the memory-operation and
+// data-region model that workloads emit, the network-traffic recorder with
+// the paper's load/store/writeback/overhead categories and deferred
+// per-word Used/Waste attribution, and the execution-time breakdown of
+// Figure 5.2. Protocol engines (internal/mesi, internal/denovo) and the
+// driver (internal/core) both build on this package.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/dram"
+)
+
+// Word and line geometry shared by the whole simulator.
+const (
+	WordBytes    = 4
+	LineBytes    = 64
+	WordsPerLine = LineBytes / WordBytes
+	LineShift    = 6
+)
+
+// LineOf returns the line address (byte address >> LineShift) of addr.
+func LineOf(addr uint32) uint32 { return addr >> LineShift }
+
+// WordIndex returns the word offset of addr within its line.
+func WordIndex(addr uint32) int { return int(addr>>2) & (WordsPerLine - 1) }
+
+// WordAddr returns the word-aligned byte address.
+func WordAddr(addr uint32) uint32 { return addr &^ 3 }
+
+// AddrOf reconstructs a byte address from a line address and word index.
+func AddrOf(line uint32, word int) uint32 { return line<<LineShift | uint32(word)<<2 }
+
+// Config is the simulated system of Table 4.1 plus protocol-level knobs
+// from §4.2 and §4.4.
+type Config struct {
+	Tiles      int // cores / L1s / L2 slices
+	MeshWidth  int
+	MeshHeight int
+
+	L1Bytes int // private L1 data cache per tile
+	L1Assoc int
+
+	L2SliceBytes int // shared L2 slice per tile
+	L2Assoc      int
+
+	LinkLatency  int64 // cycles per mesh hop
+	MaxDataFlits int   // data flits per packet (4 => 64B max data)
+
+	L1Latency int64 // L1 access latency
+	L2Latency int64 // L2 slice access latency
+	MCLatency int64 // memory-controller processing latency
+
+	StoreBufferEntries  int   // non-blocking writes per core (MESI + DeNovo)
+	WriteCombineEntries int   // DeNovo write-combining table entries
+	WriteCombineTimeout int64 // cycles before a pending registration flushes
+
+	RetryBackoff int64 // cycles an L1 waits before retrying a NACKed request
+
+	MCTiles []int // tiles hosting memory controllers (corner tiles)
+	DRAM    dram.Config
+
+	Bloom bloom.BankConfig // L2 request-bypass filter geometry (§4.4)
+}
+
+// Default returns the paper's simulated system (Table 4.1): 16 tiles, 2 GHz
+// in-order cores, 32 KB 8-way L1s, 256 KB 16-way L2 slices (4 MB total),
+// 4x4 mesh with 16-byte links and 3-cycle link latency, packets of at most
+// one control flit and four data flits, corner-tile memory controllers with
+// single-channel DDR3-1066 DIMMs.
+func Default() Config {
+	return Config{
+		Tiles:      16,
+		MeshWidth:  4,
+		MeshHeight: 4,
+
+		L1Bytes: 32 * 1024,
+		L1Assoc: 8,
+
+		L2SliceBytes: 256 * 1024,
+		L2Assoc:      16,
+
+		LinkLatency:  3,
+		MaxDataFlits: 4,
+
+		L1Latency: 2,
+		L2Latency: 10,
+		MCLatency: 6,
+
+		StoreBufferEntries:  32,
+		WriteCombineEntries: 32,
+		WriteCombineTimeout: 10000,
+
+		RetryBackoff: 24,
+
+		MCTiles: []int{0, 3, 12, 15},
+		DRAM:    dram.DefaultConfig(),
+		Bloom:   bloom.DefaultBankConfig(16),
+	}
+}
+
+// Scaled returns a copy of c with cache capacities divided by div. Input
+// sizes are scaled by the same factor in the experiment harness so that
+// working-set-to-capacity ratios — which determine reuse, bypass benefit
+// and eviction waste — match the paper's. Associativities, the mesh, and
+// DRAM timing are unchanged.
+func (c Config) Scaled(div int) Config {
+	if div <= 1 {
+		return c
+	}
+	c.L1Bytes /= div
+	c.L2SliceBytes /= div
+	if c.L1Bytes < c.L1Assoc*LineBytes {
+		c.L1Bytes = c.L1Assoc * LineBytes
+	}
+	if c.L2SliceBytes < c.L2Assoc*LineBytes {
+		c.L2SliceBytes = c.L2Assoc * LineBytes
+	}
+	return c
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.Tiles != c.MeshWidth*c.MeshHeight {
+		return fmt.Errorf("memsys: tiles %d != mesh %dx%d", c.Tiles, c.MeshWidth, c.MeshHeight)
+	}
+	if len(c.MCTiles) == 0 {
+		return fmt.Errorf("memsys: no memory controllers")
+	}
+	for _, t := range c.MCTiles {
+		if t < 0 || t >= c.Tiles {
+			return fmt.Errorf("memsys: MC tile %d out of range", t)
+		}
+	}
+	if c.MaxDataFlits <= 0 {
+		return fmt.Errorf("memsys: MaxDataFlits must be positive")
+	}
+	return nil
+}
+
+// HomeTile returns the L2 slice (tile) that owns a line address: lines are
+// interleaved across slices.
+func (c Config) HomeTile(line uint32) int { return int(line) % c.Tiles }
+
+// Channel returns the memory-channel index for a line address. A different
+// bit range than HomeTile is used so slice and channel interleaving are
+// decorrelated.
+func (c Config) Channel(line uint32) int {
+	return int(line>>4) % len(c.MCTiles)
+}
+
+// MCTile returns the tile hosting the memory controller for a line.
+func (c Config) MCTile(line uint32) int { return c.MCTiles[c.Channel(line)] }
+
+// MaxDataWords is the largest number of words one packet can carry.
+func (c Config) MaxDataWords() int { return c.MaxDataFlits * 4 }
+
+// DataFlits returns the number of 16-byte data flits needed for n words.
+func DataFlits(words int) int { return (words + 3) / 4 }

@@ -1,0 +1,154 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/waste"
+)
+
+// ServicePoint says where a load was satisfied, for the Figure 5.2
+// execution-time breakdown.
+type ServicePoint uint8
+
+// Load service points.
+const (
+	PointL1     ServicePoint = iota // L1 hit or store-buffer forward
+	PointOnChip                     // L2 slice or a remote L1
+	PointMemory                     // DRAM
+)
+
+// Sample carries the timing decomposition of one completed load.
+type Sample struct {
+	Point ServicePoint
+	// For PointMemory loads: request travel to the MC, DRAM service, and
+	// response travel back (cycles). Zero otherwise.
+	ToMC, Mem, FromMC int64
+}
+
+// TimeBreakdown accumulates one core's cycles into the Figure 5.2
+// categories.
+type TimeBreakdown struct {
+	Busy, OnChip, ToMC, Mem, FromMC, Sync int64
+}
+
+// Total returns the sum of all categories.
+func (t *TimeBreakdown) Total() int64 {
+	return t.Busy + t.OnChip + t.ToMC + t.Mem + t.FromMC + t.Sync
+}
+
+// AddStall distributes a load stall of d cycles according to the sample.
+// For memory loads the protocol-reported component times are scaled to the
+// observed stall so the categories always sum to the wall-clock time.
+func (t *TimeBreakdown) AddStall(d int64, s Sample) {
+	if d <= 0 {
+		return
+	}
+	switch s.Point {
+	case PointL1, PointOnChip:
+		t.OnChip += d
+	case PointMemory:
+		sum := s.ToMC + s.Mem + s.FromMC
+		if sum <= 0 {
+			t.Mem += d
+			return
+		}
+		toMC := d * s.ToMC / sum
+		mem := d * s.Mem / sum
+		t.ToMC += toMC
+		t.Mem += mem
+		t.FromMC += d - toMC - mem
+	}
+}
+
+// Protocol is the contract between the core driver and a coherence
+// protocol engine.
+type Protocol interface {
+	// Name is the configuration name as it appears in the figures.
+	Name() string
+	// Load issues a blocking load for core; done fires when the value is
+	// available, with the timing sample for Figure 5.2.
+	Load(core int, addr uint32, done func(val uint32, s Sample))
+	// Store issues a non-blocking store. It returns false when the store
+	// buffer is full; the driver retries after the unstall callback.
+	Store(core int, addr uint32, val uint32) bool
+	// SetStoreUnstall registers the driver's retry hook for a core.
+	SetStoreUnstall(core int, fn func())
+	// Drain completes core's pending stores/registrations before a
+	// barrier; done fires when the core is quiescent.
+	Drain(core int, done func())
+	// AtBarrier performs the protocol's global barrier actions (DeNovo
+	// self-invalidation of the written regions, Bloom filter clears).
+	// It is called once per barrier after every core has drained.
+	AtBarrier(written []uint8)
+}
+
+// Env bundles the shared simulation state handed to protocol engines.
+type Env struct {
+	K       *sim.Kernel
+	Mesh    *mesh.Mesh
+	Chans   []*dram.Channel // one per memory channel, indexed like Config.MCTiles
+	Cfg     Config
+	Traffic *Traffic
+	Prof    *waste.Profiler
+	Regions *RegionTable
+	Mem     []uint32 // word-indexed backing store (functional values)
+}
+
+// NewEnv constructs the kernel, mesh, DRAM channels, profiler and traffic
+// recorder for one simulation run.
+func NewEnv(cfg Config, footprintBytes uint32, regions []Region) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt, err := NewRegionTable(regions)
+	if err != nil {
+		return nil, err
+	}
+	k := &sim.Kernel{}
+	prof := waste.NewProfiler()
+	e := &Env{
+		K: k,
+		Mesh: mesh.New(k, mesh.Config{
+			Width: cfg.MeshWidth, Height: cfg.MeshHeight,
+			LinkLatency: cfg.LinkLatency, LocalLatency: 1,
+		}),
+		Cfg:     cfg,
+		Traffic: NewTraffic(prof),
+		Prof:    prof,
+		Regions: rt,
+		Mem:     make([]uint32, (footprintBytes+3)/4),
+	}
+	e.Chans = make([]*dram.Channel, len(cfg.MCTiles))
+	for i := range e.Chans {
+		e.Chans[i] = dram.NewChannel(k, cfg.DRAM)
+	}
+	return e, nil
+}
+
+// MemRead returns the backing-store value of a word address.
+func (e *Env) MemRead(addr uint32) uint32 {
+	i := addr >> 2
+	if int(i) >= len(e.Mem) {
+		panic(fmt.Sprintf("memsys: read outside footprint: %#x", addr))
+	}
+	return e.Mem[i]
+}
+
+// MemWrite updates the backing-store value of a word address.
+func (e *Env) MemWrite(addr uint32, val uint32) {
+	i := addr >> 2
+	if int(i) >= len(e.Mem) {
+		panic(fmt.Sprintf("memsys: write outside footprint: %#x", addr))
+	}
+	e.Mem[i] = val
+}
+
+// StartMeasurement flips profiler and traffic recorder into measured mode
+// after the warm-up phases.
+func (e *Env) StartMeasurement() {
+	e.Prof.StartMeasurement()
+	e.Traffic.StartMeasurement()
+}

@@ -1,0 +1,212 @@
+package memsys
+
+import "repro/internal/waste"
+
+// Class is the top-level traffic category of Figure 5.1a.
+type Class uint8
+
+// Traffic classes.
+const (
+	ClassLD Class = iota
+	ClassST
+	ClassWB
+	ClassOVH
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLD:
+		return "LD"
+	case ClassST:
+		return "ST"
+	case ClassWB:
+		return "WB"
+	case ClassOVH:
+		return "Overhead"
+	}
+	return "Class?"
+}
+
+// Bucket is the fine-grained traffic category used by Figures 5.1b-5.1d
+// and the overhead split of §5.2.4.
+type Bucket uint8
+
+// Traffic buckets.
+const (
+	// Load/store breakdown (Figure 5.1b/5.1c).
+	BReqCtl Bucket = iota
+	BRespCtl
+	BRespL1Used
+	BRespL1Waste
+	BRespL2Used
+	BRespL2Waste
+	// Writeback breakdown (Figure 5.1d).
+	BWBCtl
+	BWBL2Used
+	BWBL2Waste
+	BWBMemUsed
+	BWBMemWaste
+	// Overhead breakdown (§5.2.4).
+	BOvhUnblock
+	BOvhWBCtl
+	BOvhInval
+	BOvhAck
+	BOvhNack
+	BOvhBloom
+	NumBuckets
+)
+
+func (b Bucket) String() string {
+	names := [...]string{
+		"Req Ctl", "Resp Ctl", "Resp L1 Used", "Resp L1 Waste",
+		"Resp L2 Used", "Resp L2 Waste",
+		"WB Control", "WB L2 Used", "WB L2 Waste", "WB Mem Used", "WB Mem Waste",
+		"Unblock", "Clean WB Ctl", "Invalidation", "Ack", "NACK", "Bloom Copy",
+	}
+	if int(b) < len(names) {
+		return names[b]
+	}
+	return "Bucket?"
+}
+
+// Traffic accumulates flit-hops per (class, bucket). Data words are
+// attributed to Used/Waste lazily: the sender attaches a per-word flit-hop
+// share to the destination's waste instance, and the share lands in the
+// right bucket when the instance classifies (§5.2: "we assign fractional
+// flits to the appropriate categories").
+type Traffic struct {
+	flitHops [NumClasses][NumBuckets]float64
+	enabled  bool
+	prof     *waste.Profiler
+}
+
+// NewTraffic creates a recorder wired to the profiler's classification
+// stream. Recording starts disabled (warm-up); call StartMeasurement.
+func NewTraffic(prof *waste.Profiler) *Traffic {
+	t := &Traffic{prof: prof}
+	prof.OnClassify(func(level waste.Level, class uint8, cat waste.Category, share float64, measured bool) {
+		if !measured || share == 0 {
+			return
+		}
+		var b Bucket
+		used := cat == waste.Used
+		switch level {
+		case waste.LevelL1:
+			if used {
+				b = BRespL1Used
+			} else {
+				b = BRespL1Waste
+			}
+		case waste.LevelL2:
+			if used {
+				b = BRespL2Used
+			} else {
+				b = BRespL2Waste
+			}
+		default:
+			return // memory-level instances carry no on-chip traffic share
+		}
+		t.flitHops[Class(class)][b] += share
+	})
+	return t
+}
+
+// StartMeasurement zeroes the counters and enables recording.
+func (t *Traffic) StartMeasurement() {
+	t.flitHops = [NumClasses][NumBuckets]float64{}
+	t.enabled = true
+}
+
+// Ctl records a control-only contribution: flits control flits over hops
+// links. It is also used for the header flit of data-bearing messages.
+func (t *Traffic) Ctl(class Class, bucket Bucket, flits, hops int) {
+	if !t.enabled || hops == 0 || flits == 0 {
+		return
+	}
+	t.flitHops[class][bucket] += float64(flits * hops)
+}
+
+// Data records the data flits of a response carrying the given destination
+// word instances over hops links. Each word's share (hops/4 flit-hops) is
+// deferred onto its instance; the unfilled remainder of the last data flit
+// is charged to Resp Ctl, as in §5.2. The message's control flit must be
+// recorded separately with Ctl.
+func (t *Traffic) Data(class Class, hops int, insts []uint64) {
+	words := len(insts)
+	if words == 0 || hops == 0 {
+		return
+	}
+	share := float64(hops) / 4
+	for _, id := range insts {
+		t.prof.SetTraffic(id, uint8(class), share)
+	}
+	if !t.enabled {
+		return
+	}
+	filler := (float64(DataFlits(words)) - float64(words)/4) * float64(hops)
+	t.flitHops[class][BRespCtl] += filler
+}
+
+// WBData records writeback data flits: dirty words are Used, unmodified
+// words are Waste (Figure 5.1d), attribution is immediate. dest selects the
+// L2 or Mem buckets. Unfilled flit remainder goes to WB Control.
+func (t *Traffic) WBData(toMem bool, hops, dirtyWords, cleanWords int) {
+	if !t.enabled || hops == 0 {
+		return
+	}
+	words := dirtyWords + cleanWords
+	if words == 0 {
+		return
+	}
+	h := float64(hops)
+	used, waste := BWBL2Used, BWBL2Waste
+	if toMem {
+		used, waste = BWBMemUsed, BWBMemWaste
+	}
+	t.flitHops[ClassWB][used] += float64(dirtyWords) / 4 * h
+	t.flitHops[ClassWB][waste] += float64(cleanWords) / 4 * h
+	filler := (float64(DataFlits(words)) - float64(words)/4) * h
+	t.flitHops[ClassWB][BWBCtl] += filler
+}
+
+// Get returns the flit-hops recorded for (class, bucket).
+func (t *Traffic) Get(class Class, bucket Bucket) float64 { return t.flitHops[class][bucket] }
+
+// ClassTotal returns all flit-hops in a class.
+func (t *Traffic) ClassTotal(class Class) float64 {
+	var s float64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s += t.flitHops[class][b]
+	}
+	return s
+}
+
+// Total returns all recorded flit-hops.
+func (t *Traffic) Total() float64 {
+	var s float64
+	for c := Class(0); c < NumClasses; c++ {
+		s += t.ClassTotal(c)
+	}
+	return s
+}
+
+// WasteShare returns the fraction of total traffic attributed to wasted
+// data movement (the paper's "8.8% of the remaining traffic" metric):
+// Resp L1/L2 Waste plus WB L2/Mem Waste over the total.
+func (t *Traffic) WasteShare() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	var w float64
+	for c := Class(0); c < NumClasses; c++ {
+		w += t.flitHops[c][BRespL1Waste] + t.flitHops[c][BRespL2Waste]
+	}
+	w += t.flitHops[ClassWB][BWBL2Waste] + t.flitHops[ClassWB][BWBMemWaste]
+	return w / total
+}
+
+// Snapshot returns a copy of all flit-hop counters, detached from the
+// recorder (experiment results outlive their simulation Env).
+func (t *Traffic) Snapshot() [NumClasses][NumBuckets]float64 { return t.flitHops }

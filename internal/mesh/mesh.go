@@ -1,0 +1,153 @@
+// Package mesh models an on-chip mesh interconnect with dimension-ordered
+// (XY) routing, per-link serialization, and wormhole-style pipelining.
+//
+// The model matches the network of the paper's Table 4.1: a 4x4 mesh with
+// 16-byte links and a 3-cycle per-hop latency. A packet consists of one
+// control flit plus up to four 16-byte data flits (at most 64 bytes of data
+// per message). Traffic is measured in flit-hops: a packet of f flits that
+// traverses h links contributes f*h flit-hops.
+//
+// Each directed link forwards one flit per cycle; the model reserves links
+// for the full serialization time of a packet, so contention on hot links
+// delays later packets. This is a wormhole approximation (no virtual
+// channels, no credit stalls), which is sufficient for the flit-hop and
+// queuing behaviour studied in the paper.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes mesh geometry and link parameters.
+type Config struct {
+	Width, Height int   // tiles in X and Y
+	LinkLatency   int64 // cycles for a flit to traverse one link
+	LocalLatency  int64 // cycles for a same-tile (0-hop) delivery
+}
+
+// Handler receives a delivered payload at a tile.
+type Handler func(payload any)
+
+// Mesh is the interconnect. Create one with New.
+type Mesh struct {
+	cfg      Config
+	k        *sim.Kernel
+	handlers []Handler
+	// linkFree[t][d] is the cycle at which tile t's outgoing link in
+	// direction d becomes free. Directions: 0=+X(E) 1=-X(W) 2=+Y(S) 3=-Y(N).
+	linkFree [][4]int64
+
+	// Telemetry.
+	packets  uint64
+	flitHops uint64
+}
+
+// New creates a mesh driven by kernel k.
+func New(k *sim.Kernel, cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("mesh: non-positive dimensions")
+	}
+	if cfg.LinkLatency <= 0 {
+		cfg.LinkLatency = 1
+	}
+	if cfg.LocalLatency <= 0 {
+		cfg.LocalLatency = 1
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{
+		cfg:      cfg,
+		k:        k,
+		handlers: make([]Handler, n),
+		linkFree: make([][4]int64, n),
+	}
+}
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
+
+// Register installs the delivery handler for a tile. It must be called once
+// per tile before any Send that targets it.
+func (m *Mesh) Register(tile int, h Handler) {
+	if m.handlers[tile] != nil {
+		panic(fmt.Sprintf("mesh: tile %d registered twice", tile))
+	}
+	m.handlers[tile] = h
+}
+
+// Coord returns the (x, y) coordinate of a tile id.
+func (m *Mesh) Coord(tile int) (x, y int) { return tile % m.cfg.Width, tile / m.cfg.Width }
+
+// Hops returns the XY-route length in links between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// Send injects a packet of the given flit count from src to dst and
+// schedules delivery of payload at the destination handler. It returns the
+// number of link hops the packet traverses (0 for same-tile delivery) so
+// that callers can account flit-hops.
+func (m *Mesh) Send(src, dst, flits int, payload any) int {
+	if flits <= 0 {
+		panic("mesh: packet with no flits")
+	}
+	m.packets++
+	if src == dst {
+		m.deliver(dst, payload, m.k.Now()+m.cfg.LocalLatency)
+		return 0
+	}
+	hops := 0
+	t := m.k.Now() // header ready to leave current router
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	cur := src
+	for cur != dst {
+		var dir int
+		switch {
+		case x < dx:
+			dir, x = 0, x+1
+		case x > dx:
+			dir, x = 1, x-1
+		case y < dy:
+			dir, y = 2, y+1
+		default:
+			dir, y = 3, y-1
+		}
+		start := t
+		if free := m.linkFree[cur][dir]; free > start {
+			start = free
+		}
+		m.linkFree[cur][dir] = start + int64(flits) // serialization
+		t = start + m.cfg.LinkLatency               // header at next router
+		cur = y*m.cfg.Width + x
+		hops++
+	}
+	// The tail flit arrives flits-1 cycles after the header.
+	m.deliver(dst, payload, t+int64(flits-1))
+	m.flitHops += uint64(flits * hops)
+	return hops
+}
+
+func (m *Mesh) deliver(dst int, payload any, at int64) {
+	h := m.handlers[dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for tile %d", dst))
+	}
+	m.k.At(at, func() { h(payload) })
+}
+
+// Packets returns the number of packets injected so far.
+func (m *Mesh) Packets() uint64 { return m.packets }
+
+// FlitHops returns total flit-hops carried so far.
+func (m *Mesh) FlitHops() uint64 { return m.flitHops }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,27 @@
+package mesi_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/mesi"
+	"repro/internal/workloads"
+)
+
+// TestDeadlockDiagnostics is a development aid: on deadlock it prints the
+// protocol's in-flight state. It passes when the system runs clean.
+func TestDeadlockDiagnostics(t *testing.T) {
+	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	env, err := memsys.NewEnv(testConfig(), prog.FootprintBytes(), prog.Regions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mesi.New(env, mesi.Options{})
+	r := core.NewRunner(env, sys, prog)
+	var snap string
+	r.OnViolation = func(addr uint32) { snap = sys.DumpWord(addr) }
+	if err := r.Run(); err != nil {
+		t.Fatalf("%v\nat violation:\n%s\nat end:\n%s\n%s", err, snap, sys.DumpWord(r.ViolationAddr), sys.DebugState())
+	}
+}

@@ -1,0 +1,613 @@
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// maxStoreTxns bounds how many distinct lines a core's store buffer can be
+// fetching concurrently (the 32-entry buffer itself bounds total pending
+// writes, §4.2).
+const maxStoreTxns = 8
+
+// loadWaiter is a core load blocked on an in-flight line fill.
+type loadWaiter struct {
+	word int
+	done func(val uint32, s memsys.Sample)
+}
+
+// mshr tracks one outstanding L1 transaction for a line.
+type mshr struct {
+	line    uint32
+	isStore bool // GetX/Upgrade for the store buffer
+	upgrade bool // issued as an Upgrade (may convert to GetX on retry)
+	tIssue  int64
+
+	loadWaiters []loadWaiter
+
+	dataArrived bool
+	needAcks    int
+	gotAcks     int
+	state       uint8
+	data        [lineWords]uint32
+	minst       [lineWords]uint64
+	transfer    bool
+	fromMem     bool
+	tAtMC       int64
+	tDram       int64
+	hopsIn      int
+	class       memsys.Class
+}
+
+// wbEntry is a victim buffer entry: an evicted line awaiting its
+// writeback acknowledgement. It can still service forwarded requests.
+type wbEntry struct {
+	line    uint32
+	dirty   bool
+	aborted bool // ownership moved away; stop retrying
+	data    [lineWords]uint32
+	wmask   uint16
+	minst   [lineWords]uint64
+}
+
+// sbEntry is one pending non-blocking write.
+type sbEntry struct {
+	addr uint32
+	val  uint32
+}
+
+type l1Cache struct {
+	sys  *System
+	tile int
+	c    *cache.Cache
+
+	mshrs map[uint32]*mshr
+	wbBuf map[uint32]*wbEntry
+
+	sb           []sbEntry
+	storeTxns    int
+	storeUnstall func()
+	drainDone    func()
+}
+
+func newL1(s *System, tile int) *l1Cache {
+	cfg := s.env.Cfg
+	return &l1Cache{
+		sys:   s,
+		tile:  tile,
+		c:     cache.New(cfg.L1Bytes, cfg.L1Assoc, memsys.LineBytes),
+		mshrs: make(map[uint32]*mshr),
+		wbBuf: make(map[uint32]*wbEntry),
+	}
+}
+
+func (l *l1Cache) env() *memsys.Env { return l.sys.env }
+
+// --- core-facing operations ---
+
+// load begins a blocking load. done fires when the value is available.
+func (l *l1Cache) load(addr uint32, done func(uint32, memsys.Sample)) {
+	env := l.env()
+	env.K.After(env.Cfg.L1Latency, func() { l.loadAttempt(addr, env.K.Now(), done) })
+}
+
+func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsys.Sample)) {
+	env := l.env()
+	// Store-buffer forwarding: the newest pending write to this word wins.
+	for i := len(l.sb) - 1; i >= 0; i-- {
+		if l.sb[i].addr == addr {
+			done(l.sb[i].val, memsys.Sample{Point: memsys.PointL1})
+			return
+		}
+	}
+	line, w := memsys.LineOf(addr), memsys.WordIndex(addr)
+	if ln := l.c.Lookup(line); ln != nil {
+		l.c.Touch(ln)
+		env.Prof.L1Load(ln.Inst[w])
+		env.Prof.MemLoad(ln.MInst[w])
+		done(ln.Data[w], memsys.Sample{Point: memsys.PointL1})
+		return
+	}
+	// A line being written back cannot be re-read until the writeback is
+	// acknowledged; retry shortly.
+	if _, busy := l.wbBuf[line]; busy {
+		env.K.After(env.Cfg.RetryBackoff, func() { l.loadAttempt(addr, tIssue, done) })
+		return
+	}
+	if m, ok := l.mshrs[line]; ok {
+		m.loadWaiters = append(m.loadWaiters, loadWaiter{w, done})
+		return
+	}
+	m := &mshr{line: line, tIssue: tIssue}
+	m.loadWaiters = append(m.loadWaiters, loadWaiter{w, done})
+	l.mshrs[line] = m
+	l.sendGetS(m)
+}
+
+func (l *l1Cache) sendGetS(m *mshr) {
+	env := l.env()
+	home := env.Cfg.HomeTile(m.line)
+	hops := env.Mesh.Hops(l.tile, home)
+	env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
+	l.sys.send(l.tile, home, 1, &msgGetS{line: m.line, from: l.tile})
+}
+
+// storePush enqueues a non-blocking write; false when the buffer is full.
+func (l *l1Cache) storePush(addr, val uint32) bool {
+	if len(l.sb) >= l.env().Cfg.StoreBufferEntries {
+		return false
+	}
+	l.sb = append(l.sb, sbEntry{addr, val})
+	l.pumpStores()
+	return true
+}
+
+// pumpStores issues store transactions for pending lines, up to the
+// concurrency bound.
+func (l *l1Cache) pumpStores() {
+	env := l.env()
+	seen := map[uint32]bool{}
+	for i := 0; i < len(l.sb); i++ {
+		line := memsys.LineOf(l.sb[i].addr)
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		if _, ok := l.mshrs[line]; ok {
+			continue // a transaction for this line is already in flight
+		}
+		if _, busy := l.wbBuf[line]; busy {
+			continue // wait for the writeback ack, then retry
+		}
+		if ln := l.c.Lookup(line); ln != nil && (ln.State == stM || ln.State == stE) {
+			l.applyStores(ln)
+			i = -1 // sb mutated; restart scan
+			seen = map[uint32]bool{}
+			continue
+		}
+		if l.storeTxns >= maxStoreTxns {
+			break
+		}
+		l.storeTxns++
+		m := &mshr{line: line, isStore: true, tIssue: env.K.Now()}
+		l.mshrs[line] = m
+		if ln := l.c.Lookup(line); ln != nil && ln.State == stS {
+			m.upgrade = true
+			home := env.Cfg.HomeTile(line)
+			hops := env.Mesh.Hops(l.tile, home)
+			env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
+			l.sys.send(l.tile, home, 1, &msgUpgrade{line: line, from: l.tile})
+		} else {
+			l.sendGetX(m)
+		}
+	}
+	if l.drainDone != nil {
+		l.checkDrained()
+	}
+}
+
+func (l *l1Cache) sendGetX(m *mshr) {
+	env := l.env()
+	m.upgrade = false
+	home := env.Cfg.HomeTile(m.line)
+	hops := env.Mesh.Hops(l.tile, home)
+	env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
+	l.sys.send(l.tile, home, 1, &msgGetX{line: m.line, from: l.tile})
+}
+
+// applyStores retires every buffered write targeting a line the core now
+// owns (M), then wakes the driver if buffer space freed.
+func (l *l1Cache) applyStores(ln *cache.Line) {
+	env := l.env()
+	ln.State = stM
+	kept := l.sb[:0]
+	for _, e := range l.sb {
+		if memsys.LineOf(e.addr) != ln.Tag {
+			kept = append(kept, e)
+			continue
+		}
+		w := memsys.WordIndex(e.addr)
+		env.Prof.L1Store(ln.Inst[w])
+		env.Prof.MemStore(e.addr)
+		if ln.MInst[w] != 0 {
+			env.Prof.MemRelease(ln.MInst[w], false)
+			ln.MInst[w] = 0
+		}
+		ln.Data[w] = e.val
+		ln.WState[w] |= wDirty
+	}
+	l.sb = kept
+	l.c.Touch(ln)
+	if l.storeUnstall != nil {
+		// Deferred: the driver's retry re-enters Store, which must not
+		// recurse into this apply path synchronously.
+		fn := l.storeUnstall
+		env.K.After(0, fn)
+	}
+	if l.drainDone != nil {
+		l.checkDrained()
+	}
+}
+
+// drain registers a barrier-drain continuation: it fires once the store
+// buffer is empty and no store transactions remain.
+func (l *l1Cache) drain(done func()) {
+	l.drainDone = done
+	l.checkDrained()
+}
+
+func (l *l1Cache) checkDrained() {
+	if len(l.sb) == 0 && l.storeTxns == 0 && l.drainDone != nil {
+		d := l.drainDone
+		l.drainDone = nil
+		d()
+	}
+}
+
+// --- protocol message handlers ---
+
+func (l *l1Cache) handleData(m *msgData) {
+	ms := l.mshrs[m.line]
+	if ms == nil {
+		panic(fmt.Sprintf("mesi: tile %d data without mshr line %#x", l.tile, m.line))
+	}
+	ms.dataArrived = true
+	ms.state = m.state
+	ms.needAcks += m.acks
+	ms.data = m.data
+	ms.minst = m.minst
+	ms.transfer = m.transfer
+	ms.fromMem = m.fromMem
+	ms.tAtMC, ms.tDram, ms.hopsIn = m.tAtMC, m.tDram, m.hops
+	ms.class = m.class
+	l.tryCompleteFill(ms)
+}
+
+func (l *l1Cache) handleUpgAck(m *msgUpgAck) {
+	ms := l.mshrs[m.line]
+	if ms == nil {
+		panic("mesi: upgrade ack without mshr")
+	}
+	// The line must still be present in S (invalidations racing ahead of
+	// the upgrade are NACKed at the directory instead).
+	ms.dataArrived = true
+	ms.state = stM
+	ms.needAcks += m.acks
+	l.tryCompleteFill(ms)
+}
+
+func (l *l1Cache) handleInvAck(m *msgInvAck) {
+	ms := l.mshrs[m.line]
+	if ms == nil {
+		panic("mesi: inv ack without mshr")
+	}
+	ms.gotAcks++
+	l.tryCompleteFill(ms)
+}
+
+// tryCompleteFill finishes a transaction once data and all acks arrived.
+func (l *l1Cache) tryCompleteFill(ms *mshr) {
+	if !ms.dataArrived || ms.gotAcks < ms.needAcks {
+		return
+	}
+	env := l.env()
+	if !ms.upgrade && !l.canAllocate(ms.line) {
+		// Every way is held by an in-flight upgrade; retry the fill once
+		// those transactions finish.
+		env.K.After(env.Cfg.RetryBackoff, func() { l.tryCompleteFill(ms) })
+		return
+	}
+	delete(l.mshrs, ms.line)
+
+	var ln *cache.Line
+	if ms.upgrade {
+		ln = l.c.Lookup(ms.line)
+		if ln == nil {
+			panic("mesi: upgraded line vanished")
+		}
+		ln.State = stM
+	} else {
+		ln = l.allocate(ms.line)
+		ln.State = ms.state
+		insts := make([]uint64, lineWords)
+		for w := 0; w < lineWords; w++ {
+			a := memsys.AddrOf(ms.line, w)
+			ln.Data[w] = ms.data[w]
+			ln.MInst[w] = ms.minst[w]
+			id := env.Prof.L1Arrival(a, false)
+			ln.Inst[w] = id
+			insts[w] = id
+			if !ms.transfer {
+				env.Prof.MemAddRef(ms.minst[w])
+			}
+		}
+		env.Traffic.Data(ms.class, ms.hopsIn, insts)
+	}
+
+	// Directory unblock. MMemL1 load fills from memory carry the data to
+	// the L2 (unblock+data, profiled as load traffic).
+	home := env.Cfg.HomeTile(ms.line)
+	hops := env.Mesh.Hops(l.tile, home)
+	if l.sys.opt.MemToL1 && ms.fromMem && !ms.isStore {
+		env.Traffic.Ctl(memsys.ClassLD, memsys.BRespCtl, 1, hops)
+		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), &msgUnblock{
+			line: ms.line, from: l.tile, withData: true,
+			data: ms.data, minst: ms.minst, hops: hops,
+		})
+	} else {
+		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhUnblock, 1, hops)
+		l.sys.send(l.tile, home, 1, &msgUnblock{line: ms.line, from: l.tile})
+	}
+
+	sample := memsys.Sample{Point: memsys.PointOnChip}
+	if ms.fromMem {
+		sample = memsys.Sample{
+			Point:  memsys.PointMemory,
+			ToMC:   ms.tAtMC - ms.tIssue,
+			Mem:    ms.tDram - ms.tAtMC,
+			FromMC: env.K.Now() - ms.tDram,
+		}
+	}
+	for _, wtr := range ms.loadWaiters {
+		env.Prof.L1Load(ln.Inst[wtr.word])
+		env.Prof.MemLoad(ln.MInst[wtr.word])
+		wtr.done(ln.Data[wtr.word], sample)
+	}
+	if ms.isStore {
+		l.storeTxns--
+		l.applyStores(ln)
+		l.pumpStores()
+	}
+}
+
+func (l *l1Cache) handleNack(m *msgNack) {
+	env := l.env()
+	if m.isPut {
+		wb := l.wbBuf[m.line]
+		if wb == nil {
+			return
+		}
+		if wb.aborted {
+			// Ownership moved while the put was in flight; nothing to
+			// retry and no ack will come for the stale put.
+			delete(l.wbBuf, m.line)
+			l.pumpStores()
+			return
+		}
+		env.K.After(env.Cfg.RetryBackoff, func() { l.sendPut(wb) })
+		return
+	}
+	ms := l.mshrs[m.line]
+	if ms == nil {
+		return // transaction already satisfied (stale NACK)
+	}
+	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, env.Mesh.Hops(m.from, l.tile))
+	backoff := env.Cfg.RetryBackoff + int64(l.tile)
+	env.K.After(backoff, func() {
+		if l.mshrs[m.line] != ms {
+			return
+		}
+		if !ms.isStore {
+			l.sendGetS(ms)
+			return
+		}
+		// A NACKed upgrade retries as an upgrade only while the S copy
+		// survives; otherwise it converts to a full GetX.
+		if ms.upgrade {
+			if ln := l.c.Lookup(m.line); ln != nil && ln.State == stS {
+				home := env.Cfg.HomeTile(m.line)
+				hops := env.Mesh.Hops(l.tile, home)
+				env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
+				l.sys.send(l.tile, home, 1, &msgUpgrade{line: m.line, from: l.tile})
+				return
+			}
+		}
+		l.sendGetX(ms)
+	})
+}
+
+// handleInv invalidates this L1's shared copy and acknowledges.
+func (l *l1Cache) handleInv(m *msgInv) {
+	env := l.env()
+	if ln := l.c.Lookup(m.line); ln != nil {
+		for w := 0; w < lineWords; w++ {
+			env.Prof.L1Invalidate(ln.Inst[w])
+			if ln.MInst[w] != 0 {
+				env.Prof.MemRelease(ln.MInst[w], true)
+			}
+		}
+		l.c.Remove(ln)
+	}
+	hops := env.Mesh.Hops(l.tile, m.ackTo)
+	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhAck, 1, hops)
+	if m.toL2 {
+		// L2-eviction invalidation: acknowledge the home slice.
+		l.sys.send(l.tile, m.ackTo, 1, &msgRecallResp{line: m.line, from: l.tile})
+		return
+	}
+	l.sys.send(l.tile, m.ackTo, 1, &msgInvAck{line: m.line, from: l.tile})
+}
+
+// handleFwd services a forwarded GetS/GetX as the owner.
+func (l *l1Cache) handleFwd(m *msgFwd) {
+	env := l.env()
+	class := memsys.ClassLD
+	if m.excl {
+		class = memsys.ClassST
+	}
+	var data [lineWords]uint32
+	var minst [lineWords]uint64
+	var wmask uint16
+	if ln := l.c.Lookup(m.line); ln != nil {
+		data, wmask = lineSnapshot(ln)
+		minst = instSnapshot(ln)
+		if m.excl {
+			// Ownership transfer: local copy conceptually moves.
+			for w := 0; w < lineWords; w++ {
+				env.Prof.L1Invalidate(ln.Inst[w])
+			}
+			l.c.Remove(ln)
+		} else {
+			ln.State = stS
+		}
+	} else if wb := l.wbBuf[m.line]; wb != nil {
+		data, wmask, minst = wb.data, wb.wmask, wb.minst
+		if m.excl {
+			wb.aborted = true // ownership moved; the retried Put is stale
+		} else {
+			wb.dirty = false // data handed to the L2 via the downgrade WB
+		}
+	} else {
+		panic(fmt.Sprintf("mesi: tile %d forwarded for line %#x it does not hold", l.tile, m.line))
+	}
+
+	hops := env.Mesh.Hops(l.tile, m.requestor)
+	env.Traffic.Ctl(class, memsys.BRespCtl, 1, hops)
+	st := stS
+	if m.excl {
+		st = stM
+	}
+	l.sys.send(l.tile, m.requestor, 1+memsys.DataFlits(lineWords), &msgData{
+		line: m.line, state: st, data: data, minst: minst,
+		transfer: m.excl, tIssue: m.tIssue, hops: hops, class: class,
+	})
+	if !m.excl {
+		// Downgrade writeback carries the (possibly dirty) data to the L2.
+		home := env.Cfg.HomeTile(m.line)
+		h2 := env.Mesh.Hops(l.tile, home)
+		dirty := popcount(wmask)
+		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, h2)
+		env.Traffic.WBData(false, h2, dirty, lineWords-dirty)
+		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), &msgDowngradeWB{
+			line: m.line, from: l.tile, data: data, wmask: wmask,
+		})
+	}
+}
+
+// handleRecall surrenders a line for an inclusive L2 eviction.
+func (l *l1Cache) handleRecall(m *msgRecall) {
+	env := l.env()
+	resp := &msgRecallResp{line: m.line, from: l.tile}
+	if ln := l.c.Lookup(m.line); ln != nil {
+		if ln.State == stM {
+			resp.hasData = true
+			resp.data, resp.wmask = lineSnapshot(ln)
+		}
+		for w := 0; w < lineWords; w++ {
+			env.Prof.L1Invalidate(ln.Inst[w])
+			if ln.MInst[w] != 0 {
+				env.Prof.MemRelease(ln.MInst[w], true)
+			}
+		}
+		l.c.Remove(ln)
+	} else if wb := l.wbBuf[m.line]; wb != nil {
+		if wb.dirty {
+			resp.hasData = true
+			resp.data, resp.wmask = wb.data, wb.wmask
+		}
+		wb.aborted = true
+	}
+	home := env.Cfg.HomeTile(m.line)
+	hops := env.Mesh.Hops(l.tile, home)
+	if resp.hasData {
+		dirty := popcount(resp.wmask)
+		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		env.Traffic.WBData(false, hops, dirty, lineWords-dirty)
+		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), resp)
+	} else {
+		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhAck, 1, hops)
+		l.sys.send(l.tile, home, 1, resp)
+	}
+}
+
+func (l *l1Cache) handleWBAck(m *msgWBAck) {
+	delete(l.wbBuf, m.line)
+	l.pumpStores() // lines blocked on the victim buffer can proceed now
+}
+
+// --- eviction ---
+
+// canAllocate reports whether a fill for line can find a victim way that
+// is not pinned by an in-flight upgrade transaction.
+func (l *l1Cache) canAllocate(line uint32) bool {
+	return l.c.VictimWhere(line, func(v *cache.Line) bool {
+		return l.mshrs[v.Tag] == nil
+	}) != nil
+}
+
+// allocate returns a line for a fill, evicting the victim through the
+// victim buffer if necessary. Lines pinned by in-flight upgrades are never
+// chosen (callers check canAllocate first).
+func (l *l1Cache) allocate(line uint32) *cache.Line {
+	env := l.env()
+	victim := l.c.VictimWhere(line, func(v *cache.Line) bool {
+		return l.mshrs[v.Tag] == nil
+	})
+	if victim.Valid {
+		vline := victim.Tag
+		wb := &wbEntry{line: vline, dirty: victim.State == stM}
+		wb.data, wb.wmask = lineSnapshot(victim)
+		wb.minst = instSnapshot(victim)
+		for w := 0; w < lineWords; w++ {
+			env.Prof.L1Evict(victim.Inst[w])
+			if victim.MInst[w] != 0 {
+				env.Prof.MemRelease(victim.MInst[w], false)
+			}
+		}
+		l.c.Remove(victim)
+		l.wbBuf[vline] = wb
+		l.sendPut(wb)
+	}
+	return l.c.Allocate(line)
+}
+
+func (l *l1Cache) sendPut(wb *wbEntry) {
+	if wb.aborted {
+		delete(l.wbBuf, wb.line)
+		return
+	}
+	env := l.env()
+	home := env.Cfg.HomeTile(wb.line)
+	hops := env.Mesh.Hops(l.tile, home)
+	msg := &msgPut{line: wb.line, from: l.tile, dirty: wb.dirty}
+	if wb.dirty {
+		msg.data, msg.wmask, msg.minst = wb.data, wb.wmask, wb.minst
+		dirty := popcount(wb.wmask)
+		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		env.Traffic.WBData(false, hops, dirty, lineWords-dirty)
+		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), msg)
+	} else {
+		// Clean replacement notice: pure protocol overhead (§5.2.4).
+		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhWBCtl, 1, hops)
+		l.sys.send(l.tile, home, 1, msg)
+	}
+}
+
+// --- helpers ---
+
+func lineSnapshot(ln *cache.Line) (data [lineWords]uint32, wmask uint16) {
+	for w := 0; w < lineWords; w++ {
+		data[w] = ln.Data[w]
+		if ln.WState[w]&wDirty != 0 {
+			wmask |= 1 << w
+		}
+	}
+	return
+}
+
+func instSnapshot(ln *cache.Line) (minst [lineWords]uint64) {
+	for w := 0; w < lineWords; w++ {
+		minst[w] = ln.MInst[w]
+	}
+	return
+}
+
+func popcount(m uint16) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,488 @@
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// Transaction kinds at the directory.
+const (
+	txFetch uint8 = iota // memory fetch in flight (GetS/GetX miss)
+	txHit                // on-chip service, waiting for unblock
+	txFwd                // forwarded to owner
+	txEvict              // inclusive L2 eviction / recall
+)
+
+// txn is one in-flight directory transaction for a line. The directory is
+// blocking: while a txn exists, other requests for the line are NACKed.
+type txn struct {
+	kind      uint8
+	requestor int
+	class     memsys.Class
+	grant     uint8
+	isStore   bool
+	tIssue    int64
+
+	needUnblock   bool
+	needDowngrade bool
+
+	// Eviction sub-state.
+	pendingAcks int
+	cont        func() // continuation after the eviction finishes
+}
+
+// dirEntry is the directory state for a line. An entry exists while the
+// line is resident in the L2 array and/or has a transaction in flight.
+type dirEntry struct {
+	owner   int8 // owning L1 tile (E or M), -1 if none
+	sharers uint16
+	hasData bool // L2 data array holds valid data (false for MMemL1 store fills)
+	busy    *txn
+}
+
+type l2Slice struct {
+	sys  *System
+	tile int
+	c    *cache.Cache
+	dir  map[uint32]*dirEntry
+}
+
+func newL2(s *System, tile int) *l2Slice {
+	cfg := s.env.Cfg
+	return &l2Slice{
+		sys:  s,
+		tile: tile,
+		c:    cache.New(cfg.L2SliceBytes, cfg.L2Assoc, memsys.LineBytes),
+		dir:  make(map[uint32]*dirEntry),
+	}
+}
+
+func (sl *l2Slice) env() *memsys.Env { return sl.sys.env }
+
+func (sl *l2Slice) entry(line uint32) *dirEntry {
+	e := sl.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		sl.dir[line] = e
+	}
+	return e
+}
+
+func (sl *l2Slice) nack(line uint32, to int, isStore, isPut bool) {
+	env := sl.env()
+	hops := env.Mesh.Hops(sl.tile, to)
+	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, hops)
+	sl.sys.send(sl.tile, to, 1, &msgNack{line: line, from: sl.tile, isStore: isStore, isPut: isPut})
+}
+
+// --- request handlers ---
+
+func (sl *l2Slice) handleGetS(m *msgGetS) {
+	env := sl.env()
+	env.K.After(env.Cfg.L2Latency, func() {
+		e := sl.dir[m.line]
+		if e != nil && e.busy != nil {
+			sl.nack(m.line, m.from, false, false)
+			return
+		}
+		ln := sl.c.Lookup(m.line)
+		switch {
+		case ln == nil:
+			sl.startFetch(m.line, m.from, memsys.ClassLD, stE, false)
+		case e.owner >= 0:
+			e.busy = &txn{kind: txFwd, requestor: m.from, class: memsys.ClassLD,
+				needUnblock: true, needDowngrade: true}
+			hops := env.Mesh.Hops(sl.tile, int(e.owner))
+			env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
+			sl.sys.send(sl.tile, int(e.owner), 1, &msgFwd{line: m.line, requestor: m.from})
+		default:
+			grant := stS
+			if e.sharers == 0 {
+				grant = stE
+				e.owner = int8(m.from)
+			} else {
+				e.sharers |= 1 << m.from
+			}
+			sl.serveFromL2(ln, e, m.from, memsys.ClassLD, grant, 0)
+		}
+	})
+}
+
+func (sl *l2Slice) handleGetX(m *msgGetX) {
+	env := sl.env()
+	env.K.After(env.Cfg.L2Latency, func() {
+		e := sl.dir[m.line]
+		if e != nil && e.busy != nil {
+			sl.nack(m.line, m.from, true, false)
+			return
+		}
+		ln := sl.c.Lookup(m.line)
+		switch {
+		case ln == nil:
+			sl.startFetch(m.line, m.from, memsys.ClassST, stM, true)
+		case e.owner >= 0:
+			e.busy = &txn{kind: txFwd, requestor: m.from, class: memsys.ClassST,
+				isStore: true, needUnblock: true}
+			hops := env.Mesh.Hops(sl.tile, int(e.owner))
+			env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
+			sl.sys.send(sl.tile, int(e.owner), 1, &msgFwd{line: m.line, requestor: m.from, excl: true})
+			e.owner = int8(m.from)
+		default:
+			others := e.sharers &^ (1 << m.from)
+			acks := popcount(others)
+			sl.sendInvs(m.line, others, m.from, false)
+			e.sharers = 0
+			e.owner = int8(m.from)
+			sl.serveFromL2(ln, e, m.from, memsys.ClassST, stM, acks)
+		}
+	})
+}
+
+func (sl *l2Slice) handleUpgrade(m *msgUpgrade) {
+	env := sl.env()
+	env.K.After(env.Cfg.L2Latency, func() {
+		e := sl.dir[m.line]
+		if e == nil || e.busy != nil || e.owner >= 0 || e.sharers&(1<<m.from) == 0 {
+			// Raced with an invalidation (or the line left the L2): the
+			// requestor will convert to a full GetX.
+			sl.nack(m.line, m.from, true, false)
+			return
+		}
+		others := e.sharers &^ (1 << m.from)
+		acks := popcount(others)
+		sl.sendInvs(m.line, others, m.from, false)
+		e.sharers = 0
+		e.owner = int8(m.from)
+		e.busy = &txn{kind: txHit, requestor: m.from, class: memsys.ClassST,
+			isStore: true, needUnblock: true}
+		hops := env.Mesh.Hops(sl.tile, m.from)
+		env.Traffic.Ctl(memsys.ClassST, memsys.BRespCtl, 1, hops)
+		sl.sys.send(sl.tile, m.from, 1, &msgUpgAck{line: m.line, acks: acks})
+		if ln := sl.c.Lookup(m.line); ln != nil {
+			sl.c.Touch(ln)
+		}
+	})
+}
+
+// serveFromL2 answers a request from the L2 data array: this is genuine L2
+// reuse, so the served words classify as Used at the L2 (Figure 4.2).
+func (sl *l2Slice) serveFromL2(ln *cache.Line, e *dirEntry, to int, class memsys.Class, grant uint8, acks int) {
+	env := sl.env()
+	e.busy = &txn{kind: txHit, requestor: to, class: class, needUnblock: true}
+	var data [lineWords]uint32
+	var minst [lineWords]uint64
+	for w := 0; w < lineWords; w++ {
+		data[w] = ln.Data[w]
+		minst[w] = ln.MInst[w]
+		env.Prof.L2Served(ln.Inst[w])
+	}
+	sl.c.Touch(ln)
+	hops := env.Mesh.Hops(sl.tile, to)
+	env.Traffic.Ctl(class, memsys.BRespCtl, 1, hops)
+	sl.sys.send(sl.tile, to, 1+memsys.DataFlits(lineWords), &msgData{
+		line: ln.Tag, state: grant, acks: acks, data: data, minst: minst,
+		hops: hops, class: class,
+	})
+}
+
+func (sl *l2Slice) sendInvs(line uint32, sharers uint16, ackTo int, toL2 bool) {
+	env := sl.env()
+	for t := 0; t < env.Cfg.Tiles; t++ {
+		if sharers&(1<<t) == 0 {
+			continue
+		}
+		hops := env.Mesh.Hops(sl.tile, t)
+		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhInval, 1, hops)
+		sl.sys.send(sl.tile, t, 1, &msgInv{line: line, ackTo: ackTo, toL2: toL2})
+	}
+}
+
+// startFetch begins an L2 miss: reserve a way (recalling an inclusive
+// victim if needed), then read the line from memory.
+func (sl *l2Slice) startFetch(line uint32, requestor int, class memsys.Class, grant uint8, isStore bool) {
+	env := sl.env()
+	e := sl.entry(line)
+	e.busy = &txn{kind: txFetch, requestor: requestor, class: class, grant: grant,
+		isStore: isStore, needUnblock: true, tIssue: env.K.Now()}
+	sl.ensureWay(line, func() {
+		mc := env.Cfg.MCTile(line)
+		hops := env.Mesh.Hops(sl.tile, mc)
+		env.Traffic.Ctl(class, memsys.BReqCtl, 1, hops)
+		sl.sys.send(sl.tile, mc, 1, &msgMemRead{
+			line: line, home: sl.tile, requestor: requestor, grant: grant,
+			class: class, direct: sl.sys.opt.MemToL1, tIssue: e.busy.tIssue,
+		})
+	})
+}
+
+// ensureWay guarantees the set of line has a free way, evicting an
+// unbusied victim first if necessary, then calls cont.
+func (sl *l2Slice) ensureWay(line uint32, cont func()) {
+	env := sl.env()
+	victim := sl.c.VictimWhere(line, func(l *cache.Line) bool {
+		ve := sl.dir[l.Tag]
+		return ve == nil || ve.busy == nil
+	})
+	if victim == nil {
+		// Every way is mid-transaction; retry shortly.
+		env.K.After(env.Cfg.RetryBackoff, func() { sl.ensureWay(line, cont) })
+		return
+	}
+	if !victim.Valid {
+		cont()
+		return
+	}
+	sl.evictLine(victim, func() { sl.ensureWay(line, cont) })
+}
+
+// evictLine removes a resident line to make room, recalling or
+// invalidating L1 copies first (inclusive L2).
+func (sl *l2Slice) evictLine(ln *cache.Line, cont func()) {
+	env := sl.env()
+	line := ln.Tag
+	e := sl.entry(line)
+	e.busy = &txn{kind: txEvict, cont: cont}
+	switch {
+	case e.owner >= 0:
+		hops := env.Mesh.Hops(sl.tile, int(e.owner))
+		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhInval, 1, hops)
+		sl.sys.send(sl.tile, int(e.owner), 1, &msgRecall{line: line})
+	case e.sharers != 0:
+		e.busy.pendingAcks = popcount(e.sharers)
+		sl.sendInvs(line, e.sharers, sl.tile, true)
+		e.sharers = 0
+	default:
+		sl.finishEvict(ln, e)
+	}
+}
+
+// handleRecallResp collects an owner's recall data or a sharer's
+// L2-directed invalidation ack during an eviction.
+func (sl *l2Slice) handleRecallResp(m *msgRecallResp) {
+	e := sl.dir[m.line]
+	if e == nil || e.busy == nil || e.busy.kind != txEvict {
+		panic(fmt.Sprintf("mesi: stray recall response for line %#x", m.line))
+	}
+	ln := sl.c.Lookup(m.line)
+	if m.hasData {
+		sl.mergeDirty(ln, m.data, m.wmask)
+	}
+	if e.owner >= 0 && m.from == int(e.owner) {
+		e.owner = -1
+		sl.finishEvict(ln, e)
+		return
+	}
+	e.busy.pendingAcks--
+	if e.busy.pendingAcks <= 0 {
+		sl.finishEvict(ln, e)
+	}
+}
+
+// finishEvict writes the (full) line back to memory if dirty, releases
+// profiling state, and frees the way.
+func (sl *l2Slice) finishEvict(ln *cache.Line, e *dirEntry) {
+	env := sl.env()
+	line := ln.Tag
+	var dirtyMask uint16
+	var data [lineWords]uint32
+	for w := 0; w < lineWords; w++ {
+		data[w] = ln.Data[w]
+		if ln.WState[w]&wDirty != 0 {
+			dirtyMask |= 1 << w
+		}
+		env.Prof.L2Evict(ln.Inst[w])
+		if ln.MInst[w] != 0 {
+			env.Prof.MemRelease(ln.MInst[w], false)
+		}
+	}
+	if dirtyMask != 0 {
+		// MESI always writes the full 64B line back to memory; the clean
+		// words are the Mem Waste of Figure 5.1d.
+		mc := env.Cfg.MCTile(line)
+		hops := env.Mesh.Hops(sl.tile, mc)
+		dirty := popcount(dirtyMask)
+		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		env.Traffic.WBData(true, hops, dirty, lineWords-dirty)
+		sl.sys.send(sl.tile, mc, 1+memsys.DataFlits(lineWords), &msgMemWB{
+			line: line, data: data, wmask: 0xffff,
+		})
+	}
+	sl.c.Remove(ln)
+	cont := e.busy.cont
+	delete(sl.dir, line)
+	if cont != nil {
+		cont()
+	}
+}
+
+// --- fills and writebacks ---
+
+// handleMemData fills the L2 from memory (baseline path) and forwards the
+// line to the requestor. The fill-forward is the L1's copy; the L2 copy's
+// usefulness is decided by later reuse, so no Used marking happens here.
+func (sl *l2Slice) handleMemData(m *msgMemData) {
+	env := sl.env()
+	env.K.After(env.Cfg.L2Latency, func() {
+		e := sl.dir[m.line]
+		if e == nil || e.busy == nil || e.busy.kind != txFetch {
+			panic(fmt.Sprintf("mesi: memory data without fetch txn for line %#x", m.line))
+		}
+		sl.ensureWay(m.line, func() {
+			ln := sl.c.Allocate(m.line)
+			insts := make([]uint64, lineWords)
+			for w := 0; w < lineWords; w++ {
+				a := memsys.AddrOf(m.line, w)
+				ln.Data[w] = m.data[w]
+				ln.MInst[w] = m.minst[w]
+				id := env.Prof.L2Arrival(a, false)
+				ln.Inst[w] = id
+				insts[w] = id
+				env.Prof.MemAddRef(m.minst[w])
+			}
+			env.Traffic.Data(m.class, m.hops, insts)
+			e.hasData = true
+			if m.grant == stE || m.grant == stM {
+				e.owner = int8(m.req)
+			} else {
+				e.sharers |= 1 << m.req
+			}
+			hops := env.Mesh.Hops(sl.tile, m.req)
+			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+			sl.sys.send(sl.tile, m.req, 1+memsys.DataFlits(lineWords), &msgData{
+				line: m.line, state: m.grant, data: m.data, minst: m.minst,
+				fromMem: true, tIssue: m.tIssue, tAtMC: m.tAtMC, tDram: m.tDram,
+				hops: hops, class: m.class,
+			})
+		})
+	})
+}
+
+// handleUnblock ends a transaction. Under MMemL1, load unblocks carry the
+// memory data into the L2; store fills leave the L2 entry data-less.
+func (sl *l2Slice) handleUnblock(m *msgUnblock) {
+	e := sl.dir[m.line]
+	if e == nil || e.busy == nil {
+		panic(fmt.Sprintf("mesi: unblock without txn for line %#x", m.line))
+	}
+	t := e.busy
+	t.needUnblock = false
+	if t.kind == txFetch && sl.sys.opt.MemToL1 {
+		env := sl.env()
+		sl.ensureWay(m.line, func() {
+			ln := sl.c.Allocate(m.line)
+			if m.withData {
+				insts := make([]uint64, lineWords)
+				for w := 0; w < lineWords; w++ {
+					a := memsys.AddrOf(m.line, w)
+					ln.Data[w] = m.data[w]
+					ln.MInst[w] = m.minst[w]
+					id := env.Prof.L2Arrival(a, false)
+					ln.Inst[w] = id
+					insts[w] = id
+					env.Prof.MemAddRef(m.minst[w])
+				}
+				env.Traffic.Data(memsys.ClassLD, m.hops, insts)
+				e.hasData = true
+			} else {
+				e.hasData = false
+			}
+			if t.grant == stE || t.grant == stM {
+				e.owner = int8(t.requestor)
+			} else {
+				e.sharers |= 1 << t.requestor
+			}
+			sl.completeTxn(m.line, e)
+		})
+		return
+	}
+	sl.completeTxn(m.line, e)
+}
+
+func (sl *l2Slice) handleDowngradeWB(m *msgDowngradeWB) {
+	e := sl.dir[m.line]
+	if e == nil || e.busy == nil || !e.busy.needDowngrade {
+		panic(fmt.Sprintf("mesi: stray downgrade WB for line %#x", m.line))
+	}
+	ln := sl.c.Lookup(m.line)
+	sl.mergeDirty(ln, m.data, m.wmask)
+	e.hasData = true
+	// The former owner becomes a sharer alongside the requestor.
+	e.sharers |= 1 << uint(m.from)
+	e.sharers |= 1 << uint(e.busy.requestor)
+	e.owner = -1
+	e.busy.needDowngrade = false
+	sl.completeTxn(m.line, e)
+}
+
+func (sl *l2Slice) completeTxn(line uint32, e *dirEntry) {
+	if e.busy == nil || e.busy.needUnblock || e.busy.needDowngrade {
+		return
+	}
+	e.busy = nil
+	if sl.c.Lookup(line) == nil && e.owner < 0 && e.sharers == 0 {
+		delete(sl.dir, line)
+	}
+}
+
+// mergeDirty folds a full-line writeback from an L1 into the L2 line:
+// MESI transfers whole lines, so every word is overwritten — open L2 word
+// instances classify as Write waste (Figure 4.2, "overwritten by the data
+// included in an L1 writeback") and their memory instances are released.
+// Only the words the core actually wrote (wmask) become dirty for the
+// L2->memory writeback accounting.
+func (sl *l2Slice) mergeDirty(ln *cache.Line, data [lineWords]uint32, wmask uint16) {
+	if ln == nil {
+		return // transiently data-less entry: nothing cached to merge into
+	}
+	env := sl.env()
+	for w := 0; w < lineWords; w++ {
+		env.Prof.L2Overwritten(ln.Inst[w])
+		if ln.MInst[w] != 0 {
+			env.Prof.MemRelease(ln.MInst[w], false)
+			ln.MInst[w] = 0
+		}
+		ln.Data[w] = data[w]
+		if wmask&(1<<w) != 0 {
+			ln.WState[w] |= wDirty
+		}
+	}
+}
+
+// handlePut processes writebacks and clean replacement notices.
+func (sl *l2Slice) handlePut(m *msgPut) {
+	env := sl.env()
+	env.K.After(env.Cfg.L2Latency, func() {
+		e := sl.dir[m.line]
+		busy := e != nil && e.busy != nil
+		fromOwner := e != nil && e.owner >= 0 && int(e.owner) == m.from
+		if busy && fromOwner {
+			// A forward may be racing to this L1; it must keep its victim
+			// buffer alive and retry.
+			sl.nack(m.line, m.from, false, true)
+			return
+		}
+		if e != nil && !busy {
+			ln := sl.c.Lookup(m.line)
+			switch {
+			case m.dirty && fromOwner:
+				sl.mergeDirty(ln, m.data, m.wmask)
+				e.hasData = true
+				e.owner = -1
+			case !m.dirty && fromOwner:
+				e.owner = -1 // clean E replacement; L2 data stays valid
+			default:
+				e.sharers &^= 1 << m.from
+			}
+		} else if e != nil {
+			// Busy, but from a mere sharer: safe to drop the sharer now.
+			e.sharers &^= 1 << m.from
+		}
+		// Stale puts (line already evicted/transferred) are acked and
+		// ignored.
+		hops := env.Mesh.Hops(sl.tile, m.from)
+		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		sl.sys.send(sl.tile, m.from, 1, &msgWBAck{line: m.line})
+	})
+}

@@ -1,0 +1,168 @@
+package mesi
+
+import "repro/internal/memsys"
+
+// L1 line states (cache.Line.State).
+const (
+	stI uint8 = iota // invalid (only via Line.Valid=false in practice)
+	stS              // shared
+	stE              // exclusive clean
+	stM              // modified
+)
+
+// Per-word state bit: the word was written by the local core (dirty).
+const wDirty uint8 = 1
+
+// lineWords mirrors memsys geometry for fixed-size message payloads.
+const lineWords = memsys.WordsPerLine
+
+// --- L1 -> home L2 requests ---
+
+type msgGetS struct {
+	line uint32
+	from int
+}
+
+type msgGetX struct {
+	line uint32
+	from int
+}
+
+type msgUpgrade struct {
+	line uint32
+	from int
+}
+
+// msgPut is a writeback (dirty=true: PutM with data) or a clean
+// replacement notice (dirty=false: control only).
+type msgPut struct {
+	line  uint32
+	from  int
+	dirty bool
+	data  [lineWords]uint32
+	wmask uint16 // words actually written by the core
+	minst [lineWords]uint64
+}
+
+// msgUnblock finishes a directory transaction. Under MMemL1, load fills
+// carry the memory data to the L2 as a combined unblock+data message.
+type msgUnblock struct {
+	line     uint32
+	from     int
+	withData bool
+	data     [lineWords]uint32
+	minst    [lineWords]uint64
+	hops     int
+}
+
+// --- home L2 -> L1 ---
+
+// msgData is any data fill destined to an L1 (from L2, from an owner L1,
+// or from a memory controller under MMemL1).
+type msgData struct {
+	line  uint32
+	state uint8 // granted state: stS, stE or stM
+	acks  int   // invalidation acks the requestor must collect
+	data  [lineWords]uint32
+	minst [lineWords]uint64
+	// transfer marks an ownership move (FwdGetX): the words are the same
+	// on-chip copies, so the receiver must not add memory references.
+	transfer bool
+	fromMem  bool
+	tIssue   int64 // copied from the request, for Figure 5.2
+	tAtMC    int64
+	tDram    int64
+	hops     int
+	class    memsys.Class
+	// needsUnblock is false for 3-hop data from an owner (the requestor
+	// still unblocks once, tracked by the MSHR).
+}
+
+type msgUpgAck struct {
+	line uint32
+	acks int
+}
+
+type msgNack struct {
+	line    uint32
+	from    int // tile that NACKed (home)
+	isPut   bool
+	isStore bool
+}
+
+// msgInv invalidates a sharer's copy. ackTo is the tile to acknowledge
+// (the requestor for GetX/Upgrade, the home for L2 evictions).
+type msgInv struct {
+	line  uint32
+	ackTo int
+	toL2  bool // ack goes to the home L2 (recall), not an L1
+}
+
+type msgInvAck struct {
+	line uint32
+	from int
+}
+
+// msgFwd forwards a request to the owning L1.
+type msgFwd struct {
+	line      uint32
+	requestor int
+	excl      bool // GetX (ownership transfer) vs GetS (downgrade)
+	tIssue    int64
+}
+
+// msgRecall asks the owner to surrender a line for an L2 eviction.
+type msgRecall struct {
+	line uint32
+}
+
+type msgRecallResp struct {
+	line    uint32
+	from    int
+	hasData bool // owner was M (or held dirty data in its victim buffer)
+	data    [lineWords]uint32
+	wmask   uint16
+}
+
+// msgDowngradeWB carries the owner's data to the home L2 on a FwdGetS.
+type msgDowngradeWB struct {
+	line  uint32
+	from  int
+	data  [lineWords]uint32
+	wmask uint16
+}
+
+type msgWBAck struct {
+	line uint32
+}
+
+// --- L2 <-> memory controller ---
+
+type msgMemRead struct {
+	line      uint32
+	home      int // L2 slice tile
+	requestor int // core tile
+	grant     uint8
+	class     memsys.Class
+	direct    bool // MMemL1: respond straight to the requestor L1
+	tIssue    int64
+}
+
+type msgMemData struct {
+	line   uint32
+	data   [lineWords]uint32
+	minst  [lineWords]uint64
+	class  memsys.Class
+	grant  uint8
+	req    int
+	tIssue int64
+	tAtMC  int64
+	tDram  int64
+	hops   int
+}
+
+type msgMemWB struct {
+	line  uint32
+	data  [lineWords]uint32
+	wmask uint16
+}

@@ -1,0 +1,258 @@
+// Package mesi implements the paper's baseline: a blocking directory-based
+// MESI protocol with an inclusive shared L2, as shipped with the Wisconsin
+// GEMS simulator and modified for non-blocking writes (§3.3, §4.2), plus
+// the MMemL1 variant ("Memory Controller to L1 Transfer" for MESI).
+//
+// Protocol shape reproduced here:
+//   - line-granularity coherence, fetch-on-write everywhere;
+//   - a blocking directory at the home L2 slice: requests to a line with a
+//     transaction in flight are NACKed and retried;
+//   - every transaction ends with a "directory unblock" control message
+//     from the requesting L1 (the 65.3% of MESI overhead in §5.2.4);
+//   - E state with silent E->M upgrade; S->M Upgrade requests;
+//   - clean replacement notices (overhead traffic) and PutM writebacks;
+//   - inclusive L2: evicting an L2 line recalls/invalidates L1 copies;
+//   - L2->memory writebacks always move the full 64-byte line.
+//
+// MMemL1 exploits the blocking directory: on an L2 miss the memory
+// controller sends data straight to the requesting L1; loads forward it to
+// the L2 as a combined unblock+data message (profiled as load traffic),
+// and stores never forward it at all, since the pending writeback would
+// overwrite it (§3.3).
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/memsys"
+)
+
+// Options selects the MESI variant.
+type Options struct {
+	MemToL1 bool // MMemL1
+}
+
+// System is a complete MESI memory system over a memsys.Env.
+type System struct {
+	env *memsys.Env
+	opt Options
+	l1s []*l1Cache
+	l2s []*l2Slice
+}
+
+// New builds the protocol engine and registers its tiles on the mesh.
+func New(env *memsys.Env, opt Options) *System {
+	s := &System{env: env, opt: opt}
+	n := env.Cfg.Tiles
+	s.l1s = make([]*l1Cache, n)
+	s.l2s = make([]*l2Slice, n)
+	for t := 0; t < n; t++ {
+		s.l1s[t] = newL1(s, t)
+		s.l2s[t] = newL2(s, t)
+		tile := t
+		env.Mesh.Register(tile, func(p any) { s.dispatch(tile, p) })
+	}
+	return s
+}
+
+// Name implements memsys.Protocol.
+func (s *System) Name() string {
+	if s.opt.MemToL1 {
+		return "MMemL1"
+	}
+	return "MESI"
+}
+
+// Load implements memsys.Protocol.
+func (s *System) Load(core int, addr uint32, done func(uint32, memsys.Sample)) {
+	s.l1s[core].load(addr, done)
+}
+
+// Store implements memsys.Protocol.
+func (s *System) Store(core int, addr uint32, val uint32) bool {
+	return s.l1s[core].storePush(addr, val)
+}
+
+// SetStoreUnstall implements memsys.Protocol.
+func (s *System) SetStoreUnstall(core int, fn func()) { s.l1s[core].storeUnstall = fn }
+
+// Drain implements memsys.Protocol.
+func (s *System) Drain(core int, done func()) { s.l1s[core].drain(done) }
+
+// AtBarrier implements memsys.Protocol. MESI needs no global barrier
+// action: invalidations keep caches coherent eagerly.
+func (s *System) AtBarrier(written []uint8) {}
+
+// CheckInvariants verifies, at quiescence, that the system is coherent:
+// at most one owner per line, inclusive L2 residency for every L1 line,
+// and no leftover transactions. Tests call it after Run.
+func (s *System) CheckInvariants() error {
+	for t, sl := range s.l2s {
+		for line, e := range sl.dir {
+			if e.busy != nil {
+				return fmt.Errorf("mesi: tile %d line %#x still busy", t, line)
+			}
+		}
+	}
+	var err error
+	for t, l1 := range s.l1s {
+		if len(l1.mshrs) != 0 {
+			return fmt.Errorf("mesi: tile %d has %d leftover MSHRs", t, len(l1.mshrs))
+		}
+		if len(l1.wbBuf) != 0 {
+			return fmt.Errorf("mesi: tile %d has %d leftover victim-buffer entries", t, len(l1.wbBuf))
+		}
+		tile := t
+		l1.c.ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			home := s.l2s[s.env.Cfg.HomeTile(ln.Tag)]
+			e := home.dir[ln.Tag]
+			if home.c.Lookup(ln.Tag) == nil || e == nil {
+				err = fmt.Errorf("mesi: inclusivity violation: tile %d holds line %#x absent from L2", tile, ln.Tag)
+				return
+			}
+			switch ln.State {
+			case stE, stM:
+				if int(e.owner) != tile {
+					err = fmt.Errorf("mesi: line %#x held %d-state at tile %d but directory owner is %d",
+						ln.Tag, ln.State, tile, e.owner)
+				}
+			case stS:
+				if e.sharers&(1<<tile) == 0 && int(e.owner) != tile {
+					err = fmt.Errorf("mesi: line %#x shared at tile %d but not in sharer list", ln.Tag, tile)
+				}
+			}
+		})
+	}
+	return err
+}
+
+// dispatch routes a delivered payload to the right component of a tile.
+func (s *System) dispatch(tile int, p any) {
+	switch m := p.(type) {
+	// L1-bound.
+	case *msgData:
+		s.l1s[tile].handleData(m)
+	case *msgUpgAck:
+		s.l1s[tile].handleUpgAck(m)
+	case *msgNack:
+		s.l1s[tile].handleNack(m)
+	case *msgInv:
+		s.l1s[tile].handleInv(m)
+	case *msgInvAck:
+		s.l1s[tile].handleInvAck(m)
+	case *msgFwd:
+		s.l1s[tile].handleFwd(m)
+	case *msgRecall:
+		s.l1s[tile].handleRecall(m)
+	case *msgWBAck:
+		s.l1s[tile].handleWBAck(m)
+	// L2-bound.
+	case *msgGetS:
+		s.l2s[tile].handleGetS(m)
+	case *msgGetX:
+		s.l2s[tile].handleGetX(m)
+	case *msgUpgrade:
+		s.l2s[tile].handleUpgrade(m)
+	case *msgPut:
+		s.l2s[tile].handlePut(m)
+	case *msgUnblock:
+		s.l2s[tile].handleUnblock(m)
+	case *msgRecallResp:
+		s.l2s[tile].handleRecallResp(m)
+	case *msgDowngradeWB:
+		s.l2s[tile].handleDowngradeWB(m)
+	case *msgMemData:
+		s.l2s[tile].handleMemData(m)
+	// MC-bound.
+	case *msgMemRead:
+		s.handleMemRead(tile, m)
+	case *msgMemWB:
+		s.handleMemWB(tile, m)
+	default:
+		panic(fmt.Sprintf("mesi: unknown message %T at tile %d", p, tile))
+	}
+}
+
+// send pushes a message into the mesh and returns the hop count for
+// traffic accounting.
+func (s *System) send(src, dst, flits int, payload any) int {
+	return s.env.Mesh.Send(src, dst, flits, payload)
+}
+
+// l2HasWord reports whether the home L2 currently holds valid data for a
+// word (Figure 4.3's "address present in L2?" check at the MC).
+func (s *System) l2HasWord(addr uint32) bool {
+	line := memsys.LineOf(addr)
+	sl := s.l2s[s.env.Cfg.HomeTile(line)]
+	l := sl.c.Lookup(line)
+	if l == nil {
+		return false
+	}
+	e := sl.dir[line]
+	return e != nil && e.hasData
+}
+
+// --- memory controller ---
+
+// handleMemRead services a line read at an MC tile: DRAM timing via the
+// channel model, values from the backing store, fresh memory-level waste
+// instances for every word shipped.
+func (s *System) handleMemRead(tile int, m *msgMemRead) {
+	env := s.env
+	ch := env.Chans[env.Cfg.Channel(m.line)]
+	tAtMC := env.K.Now()
+	env.K.After(env.Cfg.MCLatency, func() {
+		ch.Submit(dramReq(m.line, false, func(finish int64) {
+			var data [lineWords]uint32
+			var minst [lineWords]uint64
+			for w := 0; w < lineWords; w++ {
+				a := memsys.AddrOf(m.line, w)
+				data[w] = env.MemRead(a)
+				minst[w] = env.Prof.MemFetch(a, s.l2HasWord(a))
+			}
+			if m.direct {
+				// MMemL1: straight to the requesting L1.
+				hops := env.Mesh.Hops(tile, m.requestor)
+				env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+				s.send(tile, m.requestor, 1+memsys.DataFlits(lineWords), &msgData{
+					line: m.line, state: m.grant, data: data, minst: minst,
+					fromMem: true, tIssue: m.tIssue, tAtMC: tAtMC, tDram: finish,
+					hops: hops, class: m.class,
+				})
+				return
+			}
+			hops := env.Mesh.Hops(tile, m.home)
+			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
+			s.send(tile, m.home, 1+memsys.DataFlits(lineWords), &msgMemData{
+				line: m.line, data: data, minst: minst, class: m.class,
+				grant: m.grant, req: m.requestor,
+				tIssue: m.tIssue, tAtMC: tAtMC, tDram: finish, hops: hops,
+			})
+		}))
+	})
+}
+
+// handleMemWB writes a full line back to DRAM (MESI always writes whole
+// lines; partial-write support is a DeNovo optimization).
+func (s *System) handleMemWB(tile int, m *msgMemWB) {
+	env := s.env
+	ch := env.Chans[env.Cfg.Channel(m.line)]
+	env.K.After(env.Cfg.MCLatency, func() {
+		for w := 0; w < lineWords; w++ {
+			if m.wmask&(1<<w) != 0 {
+				env.MemWrite(memsys.AddrOf(m.line, w), m.data[w])
+			}
+		}
+		ch.Submit(dramReq(m.line, true, nil))
+	})
+}
+
+// dramReq builds a line-granularity DRAM request.
+func dramReq(line uint32, write bool, done func(int64)) *dram.Request {
+	return &dram.Request{Addr: line << memsys.LineShift, Write: write, Done: done}
+}

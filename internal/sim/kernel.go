@@ -1,0 +1,110 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulator components (caches, network links, memory controllers,
+// cores) schedule closures on a single Kernel. Events with equal timestamps
+// fire in scheduling order, which makes every simulation run fully
+// deterministic for a given input.
+package sim
+
+import "container/heap"
+
+// Event is a closure scheduled to run at a simulated cycle.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (int64, bool) { // earliest timestamp
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+type Kernel struct {
+	pq    eventHeap
+	now   int64
+	seq   uint64
+	steps uint64
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events waiting to run.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past is an
+// error in component logic; the kernel clamps it to "now" so that a bug
+// cannot move time backwards.
+func (k *Kernel) At(t int64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d int64, fn func()) { k.At(k.now+d, fn) }
+
+// Step runs the earliest pending event and returns false if none remain.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.at
+	k.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to t.
+func (k *Kernel) RunUntil(t int64) {
+	for {
+		at, ok := k.pq.peek()
+		if !ok || at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunLimit executes at most n events; it returns the number executed. It is
+// used by tests as a watchdog against livelock.
+func (k *Kernel) RunLimit(n uint64) uint64 {
+	var i uint64
+	for ; i < n; i++ {
+		if !k.Step() {
+			break
+		}
+	}
+	return i
+}

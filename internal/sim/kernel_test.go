@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyKernel(t *testing.T) {
+	var k Kernel
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", k.Now())
+	}
+	k.Run() // must not hang
+}
+
+func TestOrdering(t *testing.T) {
+	var k Kernel
+	var got []int64
+	for _, at := range []int64{30, 10, 20} {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run()
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameCycle(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events not FIFO: pos %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var k Kernel
+	var fired int64 = -1
+	k.At(10, func() {
+		k.After(5, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != 15 {
+		t.Fatalf("After fired at %d, want 15", fired)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	var k Kernel
+	var fired int64 = -1
+	k.At(10, func() {
+		k.At(3, func() { fired = k.Now() }) // in the past: clamps to now
+	})
+	k.Run()
+	if fired != 10 {
+		t.Fatalf("past event fired at %d, want clamp to 10", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	count := 0
+	for _, at := range []int64{5, 10, 15, 20} {
+		k.At(at, func() { count++ })
+	}
+	k.RunUntil(12)
+	if count != 2 {
+		t.Fatalf("RunUntil(12) ran %d events, want 2", count)
+	}
+	if k.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", k.Now())
+	}
+	k.Run()
+	if count != 4 {
+		t.Fatalf("after Run, count = %d, want 4", count)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 10; i++ {
+		k.At(int64(i), func() {})
+	}
+	if n := k.RunLimit(4); n != 4 {
+		t.Fatalf("RunLimit ran %d, want 4", n)
+	}
+	if k.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6", k.Pending())
+	}
+}
+
+func TestSteps(t *testing.T) {
+	var k Kernel
+	k.At(1, func() {})
+	k.At(2, func() {})
+	k.Run()
+	if k.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", k.Steps())
+	}
+}
+
+// Property: events fire in nondecreasing timestamp order, and equal
+// timestamps fire in insertion order, for random schedules.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint8) bool {
+		var k Kernel
+		type rec struct {
+			at  int64
+			ins int
+		}
+		var fired []rec
+		for i, ti := range times {
+			at, ins := int64(ti), i
+			k.At(at, func() { fired = append(fired, rec{at, ins}) })
+		}
+		k.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].ins < fired[j].ins
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At calls from within running events preserves
+// global time ordering (time never goes backwards).
+func TestTimeMonotonicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var k Kernel
+	last := int64(-1)
+	ok := true
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if k.Now() < last {
+			ok = false
+		}
+		last = k.Now()
+		if depth < 4 {
+			for i := 0; i < 3; i++ {
+				k.After(int64(rng.Intn(20)), func() { spawn(depth + 1) })
+			}
+		}
+	}
+	k.At(0, func() { spawn(0) })
+	k.Run()
+	if !ok {
+		t.Fatal("time went backwards")
+	}
+}
+
+func BenchmarkKernelSchedule(b *testing.B) {
+	var k Kernel
+	for i := 0; i < b.N; i++ {
+		k.After(int64(i%64), func() {})
+		if k.Pending() > 1024 {
+			for k.Pending() > 0 {
+				k.Step()
+			}
+		}
+	}
+	k.Run()
+}
