@@ -5,7 +5,9 @@ package main
 
 import (
 	"fmt"
+	"log"
 
+	"repro/internal/mesh"
 	"repro/internal/memsys"
 	"repro/internal/workloads"
 )
@@ -19,8 +21,8 @@ func main() {
 			cfg.L1Bytes/1024, cfg.L1Assoc, memsys.LineBytes)},
 		{"L2 Cache (shared)", fmt.Sprintf("%d KB slices (%d MB total), %d-way set associative, %d byte cache lines",
 			cfg.L2SliceBytes/1024, cfg.L2SliceBytes*cfg.Tiles/(1024*1024), cfg.L2Assoc, memsys.LineBytes)},
-		{"Network", fmt.Sprintf("%dx%d mesh, 16 byte links, %d cycle link latency, 1 control + %d data flits/packet",
-			cfg.MeshWidth, cfg.MeshHeight, cfg.LinkLatency, cfg.MaxDataFlits)},
+		{"Network", fmt.Sprintf("%dx%d %s, 16 byte links, %d cycle link latency, 1 control + %d data flits/packet",
+			cfg.MeshWidth, cfg.MeshHeight, cfg.Topology, cfg.LinkLatency, cfg.MaxDataFlits)},
 		{"Memory Controller", fmt.Sprintf("FR-FCFS scheduling, open page policy, %d corner-tile controllers", len(cfg.MCTiles))},
 		{"DRAM", fmt.Sprintf("DDR3-1066, %d banks, %d KB rows", cfg.DRAM.Banks, cfg.DRAM.RowBytes/1024)},
 		{"Store buffer", fmt.Sprintf("%d pending non-blocking writes per core", cfg.StoreBufferEntries)},
@@ -29,6 +31,17 @@ func main() {
 	}
 	for _, r := range rows {
 		fmt.Printf("  %-22s %s\n", r[0], r[1])
+	}
+
+	fmt.Println("\nNoC topologies (trafficsim -topology; route lengths drive all flit-hop telemetry)")
+	fmt.Printf("  %-8s %6s %6s %10s %9s %9s\n", "kind", "tiles", "ports", "dir.links", "diameter", "avg hops")
+	for _, kind := range mesh.TopologyKinds() {
+		t, err := mesh.NewTopology(kind, cfg.MeshWidth, cfg.MeshHeight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %6d %6d %10d %9d %9.2f\n",
+			kind, t.Tiles(), t.Ports(), len(t.Links()), mesh.Diameter(t), mesh.AvgHops(t))
 	}
 
 	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")

@@ -8,6 +8,7 @@
 //	trafficsim -fig all -size tiny -benchmarks FFT,radix
 //	trafficsim -summary -size small
 //	trafficsim -fig 5.2 -protocols MESI,MMemL1,DBypFull
+//	trafficsim -fig 5.1a -topology torus -workers 8
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	protoCSV := flag.String("protocols", "", "comma-separated protocol subset (default: all nine)")
 	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
+	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := core.MatrixOptions{Size: size, Threads: *threads}
+	opt := core.MatrixOptions{Size: size, Threads: *threads, Topology: *topology, Workers: *workers}
 	if *protoCSV != "" {
 		opt.Protocols = splitCSV(*protoCSV)
 	}
@@ -63,6 +66,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if m.Topology != "mesh" {
+		fmt.Printf("NoC topology: %s\n\n", m.Topology)
 	}
 
 	ids := []string{*fig}

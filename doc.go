@@ -1,9 +1,10 @@
 // Package repro reproduces "Eliminating on-chip traffic waste: are we
 // there yet?" (Smolinski): a 16-tile multicore memory-system simulator
-// with directory MESI and DeNovo protocol families, a mesh NoC, DDR3
-// DRAM, the paper's waste-classification methodology, six benchmark
-// workload generators, and a harness that regenerates every figure of
-// the evaluation (Figures 5.1a-d, 5.2, 5.3a-c).
+// with directory MESI and DeNovo protocol families, a pluggable NoC
+// (mesh, ring, or torus topologies), DDR3 DRAM, the paper's
+// waste-classification methodology, six benchmark workload generators,
+// and a parallel sharded experiment engine that regenerates every figure
+// of the evaluation (Figures 5.1a-d, 5.2, 5.3a-c) per topology.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

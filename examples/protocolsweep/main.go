@@ -15,16 +15,21 @@ import (
 
 func main() {
 	bench := flag.String("bench", "kD-tree", "benchmark: fluidanimate, LU, FFT, radix, barnes, kD-tree")
+	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU)")
 	flag.Parse()
 
 	m, err := core.RunMatrix(core.MatrixOptions{
 		Size:       workloads.Tiny,
 		Benchmarks: []string{*bench},
+		Topology:   *topology,
+		Workers:    *workers,
 		Progress:   func(b, p string) { fmt.Printf("  running %s...\n", p) },
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("\nNoC topology: %s\n", m.Topology)
 
 	fmt.Println()
 	fmt.Println(m.Fig51a())

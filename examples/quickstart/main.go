@@ -44,4 +44,20 @@ func main() {
 			r.ClassTotal(memsys.ClassLD), r.ClassTotal(memsys.ClassST),
 			r.ClassTotal(memsys.ClassWB), r.ClassTotal(memsys.ClassOVH))
 	}
+
+	// Topology is the other big traffic lever: the same protocol on a
+	// torus (wraparound links) halves the longest routes, and a ring pays
+	// for its two-port routers with longer ones.
+	fmt.Println("\nDBypFull traffic by NoC topology (flit-hops):")
+	meshTotal := results[1].Total() // the DBypFull run above used the mesh
+	fmt.Printf("%-10s %14.0f %11.1f%% of mesh\n", "mesh", meshTotal, 100.0)
+	for _, topo := range []string{"torus", "ring"} {
+		cfgT := cfg
+		cfgT.Topology = topo
+		r, err := core.RunOne(cfgT, "DBypFull", prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14.0f %11.1f%% of mesh\n", topo, r.Total(), r.Total()/meshTotal*100)
+	}
 }

@@ -18,6 +18,7 @@ import (
 func main() {
 	bench := flag.String("bench", "fluidanimate", "benchmark name")
 	proto := flag.String("protocol", "DBypFull", "protocol configuration")
+	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
 	flag.Parse()
 
 	size := workloads.Tiny
@@ -25,7 +26,9 @@ func main() {
 	if prog == nil {
 		log.Fatalf("unknown benchmark %q", *bench)
 	}
-	res, err := core.RunOne(memsys.Default().Scaled(size.ScaleDiv()), *proto, prog)
+	cfg := memsys.Default().Scaled(size.ScaleDiv())
+	cfg.Topology = *topology
+	res, err := core.RunOne(cfg, *proto, prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memsys"
+	"repro/internal/workloads"
+)
+
+// The sharded experiment engine: every (benchmark, protocol) cell of a
+// matrix is an independent simulation with its own Env (kernel, mesh,
+// caches, DRAM), so cells can run on as many OS threads as the host
+// offers. The discrete-event kernel is fully deterministic and workload
+// Programs are immutable after construction, which makes the parallel
+// matrix bit-identical to the serial one — only wall-clock time changes.
+
+// matrixCell indexes one simulation job in matrix order (benchmark-major,
+// the order the old serial double loop used).
+type matrixCell struct{ bench, proto int }
+
+// RunMatrix runs the full cross product used by Figures 5.1-5.3: each
+// benchmark under each protocol, with caches scaled to match the input
+// scale (see DESIGN.md). It is RunMatrixContext without cancellation.
+func RunMatrix(opt MatrixOptions) (*Matrix, error) {
+	return RunMatrixContext(context.Background(), opt)
+}
+
+// RunMatrixContext runs the matrix across opt.Workers concurrent
+// simulations (0 = one per available CPU) and assembles results in matrix
+// order, so the output is deeply equal to a Workers: 1 run. Cancelling ctx
+// stops the engine at the next cell boundary; cells already in flight
+// finish first (one cell at tiny scale is well under a second).
+func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
+	if opt.Threads == 0 {
+		opt.Threads = 16
+	}
+	if opt.Protocols == nil {
+		opt.Protocols = ProtocolNames()
+	}
+	if opt.Benchmarks == nil {
+		opt.Benchmarks = workloads.Names()
+	}
+
+	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
+	if opt.Topology != "" {
+		cfg.Topology = opt.Topology
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Construct each workload once per benchmark and share it across the
+	// protocol cells: EmitOps is a pure function of (phase, thread) over
+	// state frozen at construction, so concurrent readers are safe.
+	progs := make([]memsys.Program, len(opt.Benchmarks))
+	for i, bench := range opt.Benchmarks {
+		if progs[i] = workloads.ByName(bench, opt.Size, opt.Threads); progs[i] == nil {
+			return nil, fmt.Errorf("core: unknown benchmark %q", bench)
+		}
+	}
+
+	cells := make([]matrixCell, 0, len(opt.Benchmarks)*len(opt.Protocols))
+	for bi := range opt.Benchmarks {
+		for pi := range opt.Protocols {
+			cells = append(cells, matrixCell{bi, pi})
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]*Result, len(cells))
+	errs := make([]error, len(cells))
+	runCell := func(i int) {
+		c := cells[i]
+		res, err := RunOne(cfg, opt.Protocols[c.proto], progs[c.bench])
+		if err != nil {
+			errs[i] = fmt.Errorf("core: %s/%s: %w",
+				opt.Protocols[c.proto], opt.Benchmarks[c.bench], err)
+			return
+		}
+		results[i] = res
+	}
+
+	if workers <= 1 {
+		// Serial reference mode: cells run in matrix order on the calling
+		// goroutine, exactly like the original double loop.
+		for i := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if opt.Progress != nil {
+				c := cells[i]
+				opt.Progress(opt.Benchmarks[c.bench], opt.Protocols[c.proto])
+			}
+			if runCell(i); errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var (
+			cursor atomic.Int64 // next cell to claim
+			failed atomic.Bool  // a cell errored: stop claiming new work
+			progMu sync.Mutex   // serializes the Progress callback
+			wg     sync.WaitGroup
+		)
+		cursor.Store(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1))
+					if i >= len(cells) || failed.Load() || ctx.Err() != nil {
+						return
+					}
+					if opt.Progress != nil {
+						c := cells[i]
+						progMu.Lock()
+						opt.Progress(opt.Benchmarks[c.bench], opt.Protocols[c.proto])
+						progMu.Unlock()
+					}
+					if runCell(i); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err // first error in matrix order, deterministically
+			}
+		}
+	}
+
+	m := &Matrix{
+		Size:       opt.Size,
+		Topology:   cfg.Topology,
+		Benchmarks: opt.Benchmarks,
+		Protocols:  opt.Protocols,
+		Results:    make(map[string]map[string]*Result, len(opt.Benchmarks)),
+	}
+	for i, c := range cells {
+		bench := opt.Benchmarks[c.bench]
+		row := m.Results[bench]
+		if row == nil {
+			row = make(map[string]*Result, len(opt.Protocols))
+			m.Results[bench] = row
+		}
+		row[opt.Protocols[c.proto]] = results[i]
+	}
+	return m, nil
+}

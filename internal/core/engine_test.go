@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestParallelMatrixMatchesSerial is the engine's core guarantee: the full
+// 9-protocol x 6-benchmark cross product at tiny scale produces a Matrix
+// deeply equal to the serial (Workers: 1) reference run at any worker
+// count, cell by cell and field by field.
+func TestParallelMatrixMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 9x6 matrix twice is slow; run without -short")
+	}
+	serial, err := core.RunMatrix(core.MatrixOptions{Size: workloads.Tiny, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.RunMatrix(core.MatrixOptions{Size: workloads.Tiny, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Benchmarks) != 6 || len(serial.Protocols) != 9 {
+		t.Fatalf("matrix shape %dx%d, want 6x9", len(serial.Benchmarks), len(serial.Protocols))
+	}
+	for _, bench := range serial.Benchmarks {
+		for _, proto := range serial.Protocols {
+			a, b := serial.Get(bench, proto), parallel.Get(bench, proto)
+			if a == nil || b == nil {
+				t.Fatalf("%s/%s: missing cell (serial %v, parallel %v)", bench, proto, a != nil, b != nil)
+			}
+			if a.FlitHops != b.FlitHops {
+				t.Errorf("%s/%s: FlitHops diverge", bench, proto)
+			}
+			if a.Waste != b.Waste {
+				t.Errorf("%s/%s: Waste diverges", bench, proto)
+			}
+			if a.ExecCycles != b.ExecCycles {
+				t.Errorf("%s/%s: ExecCycles %d vs %d", bench, proto, a.ExecCycles, b.ExecCycles)
+			}
+			if a.Time != b.Time {
+				t.Errorf("%s/%s: TimeBreakdown diverges", bench, proto)
+			}
+			if a.WasteShare != b.WasteShare {
+				t.Errorf("%s/%s: WasteShare %v vs %v", bench, proto, a.WasteShare, b.WasteShare)
+			}
+		}
+	}
+}
+
+// The parallel engine must fire Progress once per cell, like the serial
+// loop did.
+func TestParallelProgressCount(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	_, err := core.RunMatrix(core.MatrixOptions{
+		Size:       workloads.Tiny,
+		Protocols:  []string{"MESI", "DeNovo"},
+		Benchmarks: []string{"LU", "FFT"},
+		Workers:    4,
+		Progress: func(b, p string) {
+			mu.Lock()
+			seen[b+"/"+p]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("progress saw %d distinct cells, want 4: %v", len(seen), seen)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %s announced %d times", cell, n)
+		}
+	}
+}
+
+func TestRunMatrixContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := core.RunMatrixContext(ctx, core.MatrixOptions{
+			Size:       workloads.Tiny,
+			Protocols:  []string{"MESI"},
+			Benchmarks: []string{"LU"},
+			Workers:    workers,
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// Topologies thread end-to-end: the same workload/protocol cell produces
+// valid results on every topology, shorter-routed networks carry fewer
+// flit-hops, and the matrix records which topology it ran on.
+func TestMatrixTopologies(t *testing.T) {
+	totals := map[string]float64{}
+	for _, topo := range []string{"mesh", "ring", "torus"} {
+		m, err := core.RunMatrix(core.MatrixOptions{
+			Size:       workloads.Tiny,
+			Protocols:  []string{"MESI"},
+			Benchmarks: []string{"FFT"},
+			Topology:   topo,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if m.Topology != topo {
+			t.Fatalf("matrix topology %q, want %q", m.Topology, topo)
+		}
+		res := m.Get("FFT", "MESI")
+		if res == nil || res.Total() <= 0 || res.ExecCycles <= 0 {
+			t.Fatalf("%s: empty result", topo)
+		}
+		totals[topo] = res.Total()
+	}
+	// A 4x4 torus averages 2.0 hops vs the mesh's 2.5 and the ring's 4.0,
+	// so traffic must be ordered torus < mesh < ring.
+	if !(totals["torus"] < totals["mesh"] && totals["mesh"] < totals["ring"]) {
+		t.Fatalf("flit-hop totals not ordered torus < mesh < ring: %v", totals)
+	}
+}
+
+func TestBadTopologyRejected(t *testing.T) {
+	_, err := core.RunMatrix(core.MatrixOptions{
+		Size:       workloads.Tiny,
+		Protocols:  []string{"MESI"},
+		Benchmarks: []string{"LU"},
+		Topology:   "moebius",
+	})
+	if err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

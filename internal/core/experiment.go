@@ -113,6 +113,7 @@ func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, 
 // is drawn from.
 type Matrix struct {
 	Size       workloads.Size
+	Topology   string // NoC topology every cell was simulated on
 	Benchmarks []string
 	Protocols  []string
 	Results    map[string]map[string]*Result // [benchmark][protocol]
@@ -126,52 +127,22 @@ func (m *Matrix) Get(bench, proto string) *Result {
 	return nil
 }
 
-// MatrixOptions configures RunMatrix.
+// MatrixOptions configures RunMatrix / RunMatrixContext.
 type MatrixOptions struct {
 	Size       workloads.Size
 	Threads    int      // 0 = 16 (the paper's tile count)
 	Protocols  []string // nil = all nine
 	Benchmarks []string // nil = all six
-	// Progress, if set, is called before each run.
+	// Topology selects the NoC topology for every cell: "mesh" (default),
+	// "ring", or "torus".
+	Topology string
+	// Workers bounds the number of simulations running concurrently:
+	// 0 = one per available CPU (GOMAXPROCS), 1 = serial reference mode on
+	// the calling goroutine. Cells are independent simulations, so the
+	// assembled Matrix is bit-identical at every worker count.
+	Workers int
+	// Progress, if set, is called before each cell starts. With
+	// Workers > 1 the calls come from worker goroutines (serialized, but
+	// in completion-race order rather than matrix order).
 	Progress func(bench, proto string)
-}
-
-// RunMatrix runs the full cross product used by Figures 5.1-5.3: each
-// benchmark under each protocol, with caches scaled to match the input
-// scale (see DESIGN.md).
-func RunMatrix(opt MatrixOptions) (*Matrix, error) {
-	if opt.Threads == 0 {
-		opt.Threads = 16
-	}
-	if opt.Protocols == nil {
-		opt.Protocols = ProtocolNames()
-	}
-	if opt.Benchmarks == nil {
-		opt.Benchmarks = workloads.Names()
-	}
-	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
-	m := &Matrix{
-		Size:       opt.Size,
-		Benchmarks: opt.Benchmarks,
-		Protocols:  opt.Protocols,
-		Results:    make(map[string]map[string]*Result),
-	}
-	for _, bench := range opt.Benchmarks {
-		m.Results[bench] = make(map[string]*Result)
-		for _, proto := range opt.Protocols {
-			if opt.Progress != nil {
-				opt.Progress(bench, proto)
-			}
-			prog := workloads.ByName(bench, opt.Size, opt.Threads)
-			if prog == nil {
-				return nil, fmt.Errorf("core: unknown benchmark %q", bench)
-			}
-			res, err := RunOne(cfg, proto, prog)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s/%s: %w", proto, bench, err)
-			}
-			m.Results[bench][proto] = res
-		}
-	}
-	return m, nil
 }

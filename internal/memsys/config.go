@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/dram"
+	"repro/internal/mesh"
 )
 
 // Word and line geometry shared by the whole simulator.
@@ -40,6 +41,11 @@ type Config struct {
 	Tiles      int // cores / L1s / L2 slices
 	MeshWidth  int
 	MeshHeight int
+	// Topology selects the NoC geometry: "mesh" (the paper's XY-routed
+	// grid, the default), "ring" (bidirectional, the tiles linearized
+	// into one cycle), or "torus" (mesh plus wraparound links). Route
+	// lengths — and therefore all flit-hop telemetry — follow it.
+	Topology string
 
 	L1Bytes int // private L1 data cache per tile
 	L1Assoc int
@@ -76,6 +82,7 @@ func Default() Config {
 		Tiles:      16,
 		MeshWidth:  4,
 		MeshHeight: 4,
+		Topology:   "mesh",
 
 		L1Bytes: 32 * 1024,
 		L1Assoc: 8,
@@ -126,6 +133,9 @@ func (c Config) Scaled(div int) Config {
 func (c Config) Validate() error {
 	if c.Tiles != c.MeshWidth*c.MeshHeight {
 		return fmt.Errorf("memsys: tiles %d != mesh %dx%d", c.Tiles, c.MeshWidth, c.MeshHeight)
+	}
+	if _, err := mesh.NewTopology(c.Topology, c.MeshWidth, c.MeshHeight); err != nil {
+		return fmt.Errorf("memsys: %w", err)
 	}
 	if len(c.MCTiles) == 0 {
 		return fmt.Errorf("memsys: no memory controllers")

@@ -113,6 +113,7 @@ func NewEnv(cfg Config, footprintBytes uint32, regions []Region) (*Env, error) {
 		K: k,
 		Mesh: mesh.New(k, mesh.Config{
 			Width: cfg.MeshWidth, Height: cfg.MeshHeight,
+			Topology:    cfg.Topology,
 			LinkLatency: cfg.LinkLatency, LocalLatency: 1,
 		}),
 		Cfg:     cfg,

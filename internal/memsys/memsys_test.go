@@ -335,3 +335,33 @@ func TestInComm(t *testing.T) {
 		t.Error("unstructured region reported a comm region")
 	}
 }
+
+func TestConfigTopologyValidation(t *testing.T) {
+	cfg := Default()
+	for _, topo := range []string{"", "mesh", "ring", "torus"} {
+		cfg.Topology = topo
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("topology %q rejected: %v", topo, err)
+		}
+	}
+	cfg.Topology = "hypercube"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestEnvTopologyThreadsThrough(t *testing.T) {
+	cfg := Default().Scaled(64)
+	cfg.Topology = "ring"
+	e, err := NewEnv(cfg, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := e.Mesh.Topology().Kind(); kind != "ring" {
+		t.Fatalf("env mesh topology %q, want ring", kind)
+	}
+	// Ring route 0 -> 15 is one hop; the mesh's would be six.
+	if h := e.Mesh.Hops(0, 15); h != 1 {
+		t.Fatalf("ring Hops(0,15) = %d, want 1", h)
+	}
+}

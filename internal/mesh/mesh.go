@@ -1,11 +1,16 @@
-// Package mesh models an on-chip mesh interconnect with dimension-ordered
-// (XY) routing, per-link serialization, and wormhole-style pipelining.
+// Package mesh models an on-chip interconnect with pluggable topologies,
+// per-link serialization, and wormhole-style pipelining.
 //
-// The model matches the network of the paper's Table 4.1: a 4x4 mesh with
-// 16-byte links and a 3-cycle per-hop latency. A packet consists of one
-// control flit plus up to four 16-byte data flits (at most 64 bytes of data
-// per message). Traffic is measured in flit-hops: a packet of f flits that
-// traverses h links contributes f*h flit-hops.
+// The fabric (Mesh) is topology-agnostic: geometry and routing live behind
+// the Topology interface, with three registered implementations — the
+// paper's dimension-ordered (XY) mesh, a bidirectional ring, and a 2D
+// torus with wraparound links (see topology.go). The default matches the
+// network of the paper's Table 4.1: a 4x4 mesh with 16-byte links and a
+// 3-cycle per-hop latency. A packet consists of one control flit plus up
+// to four 16-byte data flits (at most 64 bytes of data per message).
+// Traffic is measured in flit-hops: a packet of f flits that traverses h
+// links contributes f*h flit-hops, so per-topology route lengths flow
+// directly into the paper's traffic telemetry.
 //
 // Each directed link forwards one flit per cycle; the model reserves links
 // for the full serialization time of a packet, so contention on hot links
@@ -20,34 +25,39 @@ import (
 	"repro/internal/sim"
 )
 
-// Config describes mesh geometry and link parameters.
+// Config describes network geometry and link parameters.
 type Config struct {
-	Width, Height int   // tiles in X and Y
-	LinkLatency   int64 // cycles for a flit to traverse one link
-	LocalLatency  int64 // cycles for a same-tile (0-hop) delivery
+	Width, Height int    // tiles in X and Y (the ring linearizes them)
+	Topology      string // "mesh" (default), "ring", or "torus"
+	LinkLatency   int64  // cycles for a flit to traverse one link
+	LocalLatency  int64  // cycles for a same-tile (0-hop) delivery
 }
 
 // Handler receives a delivered payload at a tile.
 type Handler func(payload any)
 
-// Mesh is the interconnect. Create one with New.
+// Mesh is the interconnect fabric. Create one with New.
 type Mesh struct {
 	cfg      Config
+	topo     Topology
 	k        *sim.Kernel
 	handlers []Handler
-	// linkFree[t][d] is the cycle at which tile t's outgoing link in
-	// direction d becomes free. Directions: 0=+X(E) 1=-X(W) 2=+Y(S) 3=-Y(N).
-	linkFree [][4]int64
+	// linkFree[t][p] is the cycle at which tile t's outgoing link on port
+	// p becomes free. Port meanings are topology-defined.
+	linkFree [][]int64
 
 	// Telemetry.
 	packets  uint64
 	flitHops uint64
 }
 
-// New creates a mesh driven by kernel k.
+// New creates an interconnect driven by kernel k. Unknown topology names
+// panic; validate them beforehand with NewTopology (memsys.Config.Validate
+// does) when the name comes from user input.
 func New(k *sim.Kernel, cfg Config) *Mesh {
-	if cfg.Width <= 0 || cfg.Height <= 0 {
-		panic("mesh: non-positive dimensions")
+	topo, err := NewTopology(cfg.Topology, cfg.Width, cfg.Height)
+	if err != nil {
+		panic(err.Error())
 	}
 	if cfg.LinkLatency <= 0 {
 		cfg.LinkLatency = 1
@@ -55,17 +65,25 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 	if cfg.LocalLatency <= 0 {
 		cfg.LocalLatency = 1
 	}
-	n := cfg.Width * cfg.Height
+	n := topo.Tiles()
+	linkFree := make([][]int64, n)
+	for i := range linkFree {
+		linkFree[i] = make([]int64, topo.Ports())
+	}
 	return &Mesh{
 		cfg:      cfg,
+		topo:     topo,
 		k:        k,
 		handlers: make([]Handler, n),
-		linkFree: make([][4]int64, n),
+		linkFree: linkFree,
 	}
 }
 
+// Topology returns the routing geometry the fabric was built with.
+func (m *Mesh) Topology() Topology { return m.topo }
+
 // Tiles returns the number of tiles.
-func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
+func (m *Mesh) Tiles() int { return m.topo.Tiles() }
 
 // Register installs the delivery handler for a tile. It must be called once
 // per tile before any Send that targets it.
@@ -76,15 +94,9 @@ func (m *Mesh) Register(tile int, h Handler) {
 	m.handlers[tile] = h
 }
 
-// Coord returns the (x, y) coordinate of a tile id.
-func (m *Mesh) Coord(tile int) (x, y int) { return tile % m.cfg.Width, tile / m.cfg.Width }
-
-// Hops returns the XY-route length in links between two tiles.
-func (m *Mesh) Hops(src, dst int) int {
-	sx, sy := m.Coord(src)
-	dx, dy := m.Coord(dst)
-	return abs(dx-sx) + abs(dy-sy)
-}
+// Hops returns the route length in links between two tiles under the
+// configured topology.
+func (m *Mesh) Hops(src, dst int) int { return m.topo.Hops(src, dst) }
 
 // Send injects a packet of the given flit count from src to dst and
 // schedules delivery of payload at the destination handler. It returns the
@@ -101,28 +113,16 @@ func (m *Mesh) Send(src, dst, flits int, payload any) int {
 	}
 	hops := 0
 	t := m.k.Now() // header ready to leave current router
-	x, y := m.Coord(src)
-	dx, dy := m.Coord(dst)
 	cur := src
 	for cur != dst {
-		var dir int
-		switch {
-		case x < dx:
-			dir, x = 0, x+1
-		case x > dx:
-			dir, x = 1, x-1
-		case y < dy:
-			dir, y = 2, y+1
-		default:
-			dir, y = 3, y-1
-		}
+		port, next := m.topo.NextPort(cur, dst)
 		start := t
-		if free := m.linkFree[cur][dir]; free > start {
+		if free := m.linkFree[cur][port]; free > start {
 			start = free
 		}
-		m.linkFree[cur][dir] = start + int64(flits) // serialization
-		t = start + m.cfg.LinkLatency               // header at next router
-		cur = y*m.cfg.Width + x
+		m.linkFree[cur][port] = start + int64(flits) // serialization
+		t = start + m.cfg.LinkLatency                // header at next router
+		cur = next
 		hops++
 	}
 	// The tail flit arrives flits-1 cycles after the header.

@@ -1,0 +1,279 @@
+package mesh
+
+import "fmt"
+
+// Topology defines the geometry and routing discipline of the on-chip
+// network: how many tiles and router ports exist, how a packet steps from
+// tile to tile, and how long each route is in links. The Mesh fabric
+// (link serialization, delivery scheduling, flit-hop telemetry) is
+// topology-agnostic and drives whichever Topology it is built with.
+//
+// Routing must be deterministic and minimal with respect to Hops: for any
+// src != dst, repeatedly applying NextPort must reach dst in exactly
+// Hops(src, dst) steps. Both protocol engines account their per-message
+// flit-hops with Hops, so the figure telemetry follows the topology
+// automatically.
+type Topology interface {
+	// Kind is the registry name ("mesh", "ring", "torus").
+	Kind() string
+	// Tiles returns the number of tiles (routers).
+	Tiles() int
+	// Ports returns the number of directed output ports per router.
+	Ports() int
+	// Hops returns the route length in links from src to dst (0 when
+	// src == dst).
+	Hops(src, dst int) int
+	// NextPort returns the output port taken at cur and the neighbouring
+	// tile it leads to, for one routing step toward dst. cur must differ
+	// from dst.
+	NextPort(cur, dst int) (port, next int)
+	// Links enumerates every directed link in the network.
+	Links() []Link
+}
+
+// Link is one directed channel: tile From's output port Port leads to
+// tile To.
+type Link struct {
+	From, Port, To int
+}
+
+// TopologyKinds lists the registered topology names in presentation order.
+func TopologyKinds() []string { return []string{"mesh", "ring", "torus"} }
+
+// NewTopology constructs a topology by registry name over a width x height
+// tile grid. The empty kind defaults to "mesh" (the paper's network). The
+// ring linearizes the same width*height tiles into a single cycle.
+func NewTopology(kind string, width, height int) (Topology, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("mesh: non-positive dimensions %dx%d", width, height)
+	}
+	switch kind {
+	case "", "mesh":
+		return &XYMesh{w: width, h: height}, nil
+	case "ring":
+		return &Ring{n: width * height}, nil
+	case "torus":
+		return &Torus{w: width, h: height}, nil
+	}
+	return nil, fmt.Errorf("mesh: unknown topology %q (have %v)", kind, TopologyKinds())
+}
+
+// Mesh/torus port numbering, shared so the mesh and torus agree with the
+// historical direction encoding.
+const (
+	portEast  = 0 // +X
+	portWest  = 1 // -X
+	portSouth = 2 // +Y
+	portNorth = 3 // -Y
+)
+
+// XYMesh is the paper's network (Table 4.1): a width x height mesh with
+// dimension-ordered XY routing — packets fully resolve the X dimension,
+// then the Y dimension, which is deadlock-free and minimal.
+type XYMesh struct{ w, h int }
+
+// Kind implements Topology.
+func (m *XYMesh) Kind() string { return "mesh" }
+
+// Tiles implements Topology.
+func (m *XYMesh) Tiles() int { return m.w * m.h }
+
+// Ports implements Topology: E, W, S, N.
+func (m *XYMesh) Ports() int { return 4 }
+
+// Hops implements Topology: the Manhattan distance.
+func (m *XYMesh) Hops(src, dst int) int {
+	sx, sy := src%m.w, src/m.w
+	dx, dy := dst%m.w, dst/m.w
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// NextPort implements Topology: X first, then Y.
+func (m *XYMesh) NextPort(cur, dst int) (port, next int) {
+	x, y := cur%m.w, cur/m.w
+	dx, dy := dst%m.w, dst/m.w
+	switch {
+	case x < dx:
+		port, x = portEast, x+1
+	case x > dx:
+		port, x = portWest, x-1
+	case y < dy:
+		port, y = portSouth, y+1
+	default:
+		port, y = portNorth, y-1
+	}
+	return port, y*m.w + x
+}
+
+// Links implements Topology: each tile links to its in-grid neighbours.
+func (m *XYMesh) Links() []Link {
+	var ls []Link
+	for t := 0; t < m.Tiles(); t++ {
+		x, y := t%m.w, t/m.w
+		if x+1 < m.w {
+			ls = append(ls, Link{t, portEast, t + 1})
+		}
+		if x > 0 {
+			ls = append(ls, Link{t, portWest, t - 1})
+		}
+		if y+1 < m.h {
+			ls = append(ls, Link{t, portSouth, t + m.w})
+		}
+		if y > 0 {
+			ls = append(ls, Link{t, portNorth, t - m.w})
+		}
+	}
+	return ls
+}
+
+// Ring port numbering.
+const (
+	portCW  = 0 // clockwise: tile i -> (i+1) mod n
+	portCCW = 1 // counter-clockwise: tile i -> (i-1) mod n
+)
+
+// Ring is a bidirectional ring: the tiles form a single cycle and packets
+// take the shorter way around (ties break clockwise, deterministically).
+// Routers need only two ports, trading the mesh's path diversity for a
+// diameter of n/2 — the geometry studied by ring-router NoC work.
+type Ring struct{ n int }
+
+// Kind implements Topology.
+func (r *Ring) Kind() string { return "ring" }
+
+// Tiles implements Topology.
+func (r *Ring) Tiles() int { return r.n }
+
+// Ports implements Topology: CW, CCW.
+func (r *Ring) Ports() int { return 2 }
+
+// Hops implements Topology: the shorter way around the cycle.
+func (r *Ring) Hops(src, dst int) int { return ringDist(src, dst, r.n) }
+
+// NextPort implements Topology. The shorter-direction choice is stable
+// along a route: once a packet starts clockwise its forward distance only
+// shrinks, so every step picks the same direction.
+func (r *Ring) NextPort(cur, dst int) (port, next int) {
+	d := dst - cur
+	if d < 0 {
+		d += r.n
+	}
+	if d*2 <= r.n { // tie goes clockwise
+		return portCW, (cur + 1) % r.n
+	}
+	return portCCW, (cur - 1 + r.n) % r.n
+}
+
+// Links implements Topology: two directed links per tile.
+func (r *Ring) Links() []Link {
+	ls := make([]Link, 0, 2*r.n)
+	for t := 0; t < r.n; t++ {
+		ls = append(ls, Link{t, portCW, (t + 1) % r.n})
+		ls = append(ls, Link{t, portCCW, (t - 1 + r.n) % r.n})
+	}
+	return ls
+}
+
+// Torus is the mesh plus wraparound links in both dimensions. Routing is
+// dimension-ordered (X then Y) like the mesh, but each dimension travels
+// the shorter way around its cycle (ties break toward +X/+Y), halving the
+// worst-case hop count: a 4x4 torus has diameter 4 where the mesh has 6.
+type Torus struct{ w, h int }
+
+// Kind implements Topology.
+func (t *Torus) Kind() string { return "torus" }
+
+// Tiles implements Topology.
+func (t *Torus) Tiles() int { return t.w * t.h }
+
+// Ports implements Topology: E, W, S, N (with wraparound).
+func (t *Torus) Ports() int { return 4 }
+
+// ringDist returns the shorter cyclic distance from a to b modulo n.
+func ringDist(a, b, n int) int {
+	d := b - a
+	if d < 0 {
+		d += n
+	}
+	if d*2 > n {
+		return n - d
+	}
+	return d
+}
+
+// Hops implements Topology: per-dimension shorter cyclic distances.
+func (t *Torus) Hops(src, dst int) int {
+	return ringDist(src%t.w, dst%t.w, t.w) + ringDist(src/t.w, dst/t.w, t.h)
+}
+
+// NextPort implements Topology: resolve X around its ring, then Y.
+func (t *Torus) NextPort(cur, dst int) (port, next int) {
+	x, y := cur%t.w, cur/t.w
+	dx, dy := dst%t.w, dst/t.w
+	if x != dx {
+		d := dx - x
+		if d < 0 {
+			d += t.w
+		}
+		if d*2 <= t.w { // tie goes +X
+			return portEast, y*t.w + (x+1)%t.w
+		}
+		return portWest, y*t.w + (x-1+t.w)%t.w
+	}
+	d := dy - y
+	if d < 0 {
+		d += t.h
+	}
+	if d*2 <= t.h { // tie goes +Y
+		return portSouth, ((y+1)%t.h)*t.w + x
+	}
+	return portNorth, ((y-1+t.h)%t.h)*t.w + x
+}
+
+// Links implements Topology: four directed links per tile, wrapping at the
+// edges. Degenerate 1-wide dimensions contribute no links (a tile is not
+// linked to itself).
+func (t *Torus) Links() []Link {
+	var ls []Link
+	for tile := 0; tile < t.Tiles(); tile++ {
+		x, y := tile%t.w, tile/t.w
+		if t.w > 1 {
+			ls = append(ls, Link{tile, portEast, y*t.w + (x+1)%t.w})
+			ls = append(ls, Link{tile, portWest, y*t.w + (x-1+t.w)%t.w})
+		}
+		if t.h > 1 {
+			ls = append(ls, Link{tile, portSouth, ((y+1)%t.h)*t.w + x})
+			ls = append(ls, Link{tile, portNorth, ((y-1+t.h)%t.h)*t.w + x})
+		}
+	}
+	return ls
+}
+
+// Diameter returns the longest minimal route in the topology, in links.
+func Diameter(t Topology) int {
+	max := 0
+	for s := 0; s < t.Tiles(); s++ {
+		for d := 0; d < t.Tiles(); d++ {
+			if h := t.Hops(s, d); h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+// AvgHops returns the mean route length over all ordered tile pairs
+// (including same-tile pairs, which contribute zero).
+func AvgHops(t Topology) float64 {
+	n := t.Tiles()
+	if n == 0 {
+		return 0
+	}
+	sum := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			sum += t.Hops(s, d)
+		}
+	}
+	return float64(sum) / float64(n*n)
+}

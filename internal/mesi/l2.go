@@ -457,7 +457,15 @@ func (sl *l2Slice) handlePut(m *msgPut) {
 		e := sl.dir[m.line]
 		busy := e != nil && e.busy != nil
 		fromOwner := e != nil && e.owner >= 0 && int(e.owner) == m.from
-		if busy && fromOwner {
+		// A put can also race with the sender's own in-flight fill: under
+		// MMemL1 the directory records ownership only when the unblock is
+		// processed, and ensureWay can defer that past the put's arrival
+		// (the L1 already has the data straight from the MC, so it may have
+		// evicted the line again by then). Acking such a put would destroy
+		// the victim buffer and leave a stale owner behind, so the pending
+		// requestor is treated exactly like the registered owner.
+		fromPending := busy && e.busy.kind != txEvict && e.busy.requestor == m.from
+		if busy && (fromOwner || fromPending) {
 			// A forward may be racing to this L1; it must keep its victim
 			// buffer alive and retry.
 			sl.nack(m.line, m.from, false, true)
