@@ -7,8 +7,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/mesh"
 	"repro/internal/memsys"
+	"repro/internal/mesh"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +42,11 @@ func main() {
 		}
 		fmt.Printf("  %-8s %6d %6d %10d %9d %9.2f\n",
 			kind, t.Tiles(), t.Ports(), len(t.Links()), mesh.Diameter(t), mesh.AvgHops(t))
+	}
+
+	fmt.Println("\nRouter models (trafficsim -router; packet latencies and congestion telemetry follow the model)")
+	for _, kind := range mesh.RouterKinds() {
+		fmt.Printf("  %-8s %s\n", kind, mesh.RouterDescription(kind))
 	}
 
 	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")

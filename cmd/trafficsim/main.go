@@ -9,6 +9,7 @@
 //	trafficsim -summary -size small
 //	trafficsim -fig 5.2 -protocols MESI,MMemL1,DBypFull
 //	trafficsim -fig 5.1a -topology torus -workers 8
+//	trafficsim -fig net -router vc -size tiny -benchmarks FFT
 package main
 
 import (
@@ -22,13 +23,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to print: 5.1a 5.1b 5.1c 5.1d 5.2 5.3a 5.3b 5.3c, or 'all'")
+	fig := flag.String("fig", "", "figure to print: 5.1a 5.1b 5.1c 5.1d 5.2 5.3a 5.3b 5.3c net, or 'all'")
 	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
 	protoCSV := flag.String("protocols", "", "comma-separated protocol subset (default: all nine)")
 	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
+	router := flag.String("router", "ideal", "router model: ideal (injection-time reservation), vc (cycle-level VC wormhole)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := core.MatrixOptions{Size: size, Threads: *threads, Topology: *topology, Workers: *workers}
+	opt := core.MatrixOptions{Size: size, Threads: *threads, Topology: *topology, Router: *router, Workers: *workers}
 	if *protoCSV != "" {
 		opt.Protocols = splitCSV(*protoCSV)
 	}
@@ -68,8 +70,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	if m.Topology != "mesh" {
-		fmt.Printf("NoC topology: %s\n\n", m.Topology)
+	if m.Topology != "mesh" || m.Router != "ideal" {
+		fmt.Printf("NoC topology: %s, router: %s\n\n", m.Topology, m.Router)
 	}
 
 	ids := []string{*fig}

@@ -16,6 +16,7 @@ import (
 func main() {
 	bench := flag.String("bench", "kD-tree", "benchmark: fluidanimate, LU, FFT, radix, barnes, kD-tree")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
+	router := flag.String("router", "ideal", "router model: ideal, vc")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU)")
 	flag.Parse()
 
@@ -23,13 +24,14 @@ func main() {
 		Size:       workloads.Tiny,
 		Benchmarks: []string{*bench},
 		Topology:   *topology,
+		Router:     *router,
 		Workers:    *workers,
 		Progress:   func(b, p string) { fmt.Printf("  running %s...\n", p) },
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nNoC topology: %s\n", m.Topology)
+	fmt.Printf("\nNoC topology: %s, router: %s\n", m.Topology, m.Router)
 
 	fmt.Println()
 	fmt.Println(m.Fig51a())

@@ -60,4 +60,22 @@ func main() {
 		}
 		fmt.Printf("%-10s %14.0f %11.1f%% of mesh\n", topo, r.Total(), r.Total()/meshTotal*100)
 	}
+
+	// The router model decides what congestion the telemetry can see: the
+	// ideal model reserves whole routes at injection, while the vc model
+	// pays for buffers, credits and allocation cycle by cycle. The MESI
+	// run above already carries the ideal-router telemetry.
+	cfgVC := cfg
+	cfgVC.Router = "vc"
+	vc, err := core.RunOne(cfgVC, "MESI", prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMESI congestion by router model (same mesh, same workload):")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "router", "mean lat", "max lat", "hot link", "peak VC")
+	for _, r := range []*core.Result{base, vc} {
+		n := r.Net
+		fmt.Printf("%-10s %12.1f %12d %11.1f%% %12d\n",
+			n.Router, n.LatencyMean, n.LatencyMax, n.LinkUtilMax*100, n.PeakVCOccupancy)
+	}
 }

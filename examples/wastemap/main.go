@@ -19,6 +19,7 @@ func main() {
 	bench := flag.String("bench", "fluidanimate", "benchmark name")
 	proto := flag.String("protocol", "DBypFull", "protocol configuration")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
+	router := flag.String("router", "ideal", "router model: ideal, vc")
 	flag.Parse()
 
 	size := workloads.Tiny
@@ -28,6 +29,7 @@ func main() {
 	}
 	cfg := memsys.Default().Scaled(size.ScaleDiv())
 	cfg.Topology = *topology
+	cfg.Router = *router
 	res, err := core.RunOne(cfg, *proto, prog)
 	if err != nil {
 		log.Fatal(err)

@@ -49,6 +49,9 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	if opt.Topology != "" {
 		cfg.Topology = opt.Topology
 	}
+	if opt.Router != "" {
+		cfg.Router = opt.Router
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,6 +152,7 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	m := &Matrix{
 		Size:       opt.Size,
 		Topology:   cfg.Topology,
+		Router:     cfg.Router,
 		Benchmarks: opt.Benchmarks,
 		Protocols:  opt.Protocols,
 		Results:    make(map[string]map[string]*Result, len(opt.Benchmarks)),

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/workloads"
 )
 
@@ -126,6 +127,81 @@ func TestMatrixTopologies(t *testing.T) {
 	// so traffic must be ordered torus < mesh < ring.
 	if !(totals["torus"] < totals["mesh"] && totals["mesh"] < totals["ring"]) {
 		t.Fatalf("flit-hop totals not ordered torus < mesh < ring: %v", totals)
+	}
+}
+
+// The engine's parallel-vs-serial guarantee extends to the vc router: the
+// same cells at Workers 1 and 4 are deeply equal, including the new
+// congestion telemetry, and the matrix records the router it ran.
+func TestVCMatrixMatchesSerial(t *testing.T) {
+	run := func(workers int) *core.Matrix {
+		m, err := core.RunMatrix(core.MatrixOptions{
+			Size:       workloads.Tiny,
+			Protocols:  []string{"MESI", "DBypFull"},
+			Benchmarks: []string{"FFT"},
+			Router:     "vc",
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	serial, parallel := run(1), run(4)
+	if serial.Router != "vc" || parallel.Router != "vc" {
+		t.Fatalf("matrix router %q/%q, want vc", serial.Router, parallel.Router)
+	}
+	for _, proto := range serial.Protocols {
+		a, b := serial.Get("FFT", proto), parallel.Get("FFT", proto)
+		if a == nil || b == nil {
+			t.Fatalf("%s: missing cell", proto)
+		}
+		if a.FlitHops != b.FlitHops || a.ExecCycles != b.ExecCycles ||
+			a.Waste != b.Waste || a.Time != b.Time || a.Net != b.Net {
+			t.Fatalf("%s: vc cell diverges between serial and parallel runs", proto)
+		}
+		if a.Net.Router != "vc" {
+			t.Fatalf("%s: cell ran router %q", proto, a.Net.Router)
+		}
+		if a.Net.PeakVCOccupancy <= 0 {
+			t.Fatalf("%s: vc run recorded no VC occupancy", proto)
+		}
+	}
+}
+
+// End to end, the cycle-level router makes the same workload see strictly
+// higher mean packet latency than the ideal reservation model: credit
+// stalls and allocation cycles are no longer invisible.
+func TestVCLatencyAboveIdealEndToEnd(t *testing.T) {
+	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	cfg := memsys.Default().Scaled(workloads.Tiny.ScaleDiv())
+	ideal, err := core.RunOne(cfg, "MESI", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Router = "vc"
+	vc, err := core.RunOne(cfg, "MESI", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(vc.Net.LatencyMean > ideal.Net.LatencyMean) {
+		t.Fatalf("vc mean latency %.2f not above ideal %.2f",
+			vc.Net.LatencyMean, ideal.Net.LatencyMean)
+	}
+	if vc.ExecCycles <= ideal.ExecCycles {
+		t.Fatalf("vc execution %d not slower than ideal %d", vc.ExecCycles, ideal.ExecCycles)
+	}
+}
+
+func TestBadRouterRejected(t *testing.T) {
+	_, err := core.RunMatrix(core.MatrixOptions{
+		Size:       workloads.Tiny,
+		Protocols:  []string{"MESI"},
+		Benchmarks: []string{"LU"},
+		Router:     "bufferless",
+	})
+	if err == nil {
+		t.Fatal("unknown router accepted")
 	}
 }
 

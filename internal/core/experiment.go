@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/denovo"
 	"repro/internal/memsys"
+	"repro/internal/mesh"
 	"repro/internal/mesi"
 	"repro/internal/waste"
 	"repro/internal/workloads"
@@ -46,6 +47,7 @@ type Result struct {
 	ExecCycles int64
 	Time       memsys.TimeBreakdown // summed over cores
 	WasteShare float64
+	Net        mesh.NetStats // congestion telemetry over the measured window
 }
 
 // ClassTotal sums a traffic class.
@@ -97,6 +99,7 @@ func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, 
 		Waste:      env.Prof.Snapshot(),
 		ExecCycles: r.ExecCycles(),
 		WasteShare: env.Traffic.WasteShare(),
+		Net:        env.Mesh.Stats(),
 	}
 	for _, tb := range r.Times {
 		res.Time.Busy += tb.Busy
@@ -114,6 +117,7 @@ func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, 
 type Matrix struct {
 	Size       workloads.Size
 	Topology   string // NoC topology every cell was simulated on
+	Router     string // router model every cell was simulated with
 	Benchmarks []string
 	Protocols  []string
 	Results    map[string]map[string]*Result // [benchmark][protocol]
@@ -136,6 +140,9 @@ type MatrixOptions struct {
 	// Topology selects the NoC topology for every cell: "mesh" (default),
 	// "ring", or "torus".
 	Topology string
+	// Router selects the fabric's forwarding model for every cell:
+	// "ideal" (default) or "vc" (the cycle-level VC wormhole router).
+	Router string
 	// Workers bounds the number of simulations running concurrently:
 	// 0 = one per available CPU (GOMAXPROCS), 1 = serial reference mode on
 	// the calling goroutine. Cells are independent simulations, so the

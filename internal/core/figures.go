@@ -10,11 +10,14 @@ import (
 
 // Table is a rendered figure: one row per (benchmark, protocol) with
 // stacked category values normalized to the benchmark's MESI baseline
-// (percent), mirroring the paper's stacked bar charts.
+// (percent), mirroring the paper's stacked bar charts. Raw tables (the
+// congestion telemetry) carry unnormalized values instead and render
+// without the percent marks and the Total column.
 type Table struct {
 	ID      string
 	Title   string
 	Columns []string
+	Raw     bool
 	Rows    []TableRow
 }
 
@@ -42,7 +45,11 @@ func (t *Table) String() string {
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, " %14s", c)
 	}
-	fmt.Fprintf(&b, " %9s\n", "Total")
+	if t.Raw {
+		b.WriteString("\n")
+	} else {
+		fmt.Fprintf(&b, " %9s\n", "Total")
+	}
 	prev := ""
 	for _, r := range t.Rows {
 		bench := r.Bench
@@ -54,9 +61,17 @@ func (t *Table) String() string {
 		prev = r.Bench
 		fmt.Fprintf(&b, "%-14s %-12s", bench, r.Protocol)
 		for _, v := range r.Values {
-			fmt.Fprintf(&b, " %13.1f%%", v)
+			if t.Raw {
+				fmt.Fprintf(&b, " %14.2f", v)
+			} else {
+				fmt.Fprintf(&b, " %13.1f%%", v)
+			}
 		}
-		fmt.Fprintf(&b, " %8.1f%%\n", r.Total())
+		if t.Raw {
+			b.WriteString("\n")
+		} else {
+			fmt.Fprintf(&b, " %8.1f%%\n", r.Total())
+		}
 	}
 	return b.String()
 }
@@ -223,6 +238,36 @@ func (m *Matrix) Fig53c() *Table {
 	return m.fetchWaste("Fig 5.3c", "Words fetched from memory by waste category", waste.LevelMem, true)
 }
 
+// FigCongestion builds the congestion-telemetry table (not a paper
+// figure): for each cell, the mean and worst packet latency over the
+// measured window, the mean and hottest directed-link utilization
+// (percent of cycles busy), and the peak VC buffer occupancy. Values are
+// raw, not normalized to MESI — latencies are only comparable within one
+// router model, which the title records.
+func (m *Matrix) FigCongestion() *Table {
+	router := m.Router
+	if router == "" {
+		router = "ideal"
+	}
+	t := &Table{
+		ID:      "Net",
+		Title:   fmt.Sprintf("Congestion telemetry (router=%s, topology=%s)", router, m.Topology),
+		Columns: []string{"Mean Lat", "Max Lat", "Link Util%", "Max Util%", "Peak VC"},
+		Raw:     true,
+	}
+	t.Rows = m.eachRow(func(res, base *Result) []float64 {
+		n := res.Net
+		return []float64{
+			n.LatencyMean,
+			float64(n.LatencyMax),
+			n.LinkUtilMean * 100,
+			n.LinkUtilMax * 100,
+			float64(n.PeakVCOccupancy),
+		}
+	})
+	return t
+}
+
 // Figure builds a figure table by the paper's figure id.
 func (m *Matrix) Figure(id string) (*Table, error) {
 	switch strings.ToLower(strings.TrimSpace(id)) {
@@ -242,13 +287,16 @@ func (m *Matrix) Figure(id string) (*Table, error) {
 		return m.Fig53b(), nil
 	case "5.3c", "fig5.3c":
 		return m.Fig53c(), nil
+	case "net", "congestion":
+		return m.FigCongestion(), nil
 	}
 	return nil, fmt.Errorf("core: unknown figure %q", id)
 }
 
-// FigureIDs lists the reproducible figure ids.
+// FigureIDs lists the reproducible figure ids: the paper's eight figures
+// plus the congestion-telemetry table.
 func FigureIDs() []string {
-	return []string{"5.1a", "5.1b", "5.1c", "5.1d", "5.2", "5.3a", "5.3b", "5.3c"}
+	return []string{"5.1a", "5.1b", "5.1c", "5.1d", "5.2", "5.3a", "5.3b", "5.3c", "net"}
 }
 
 // Summary holds the paper's headline averages (§5.1, §5.2.4, §7) as

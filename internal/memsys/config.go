@@ -46,6 +46,13 @@ type Config struct {
 	// into one cycle), or "torus" (mesh plus wraparound links). Route
 	// lengths — and therefore all flit-hop telemetry — follow it.
 	Topology string
+	// Router selects the fabric's forwarding model: "ideal" (the paper's
+	// injection-time link reservation, the default) or "vc" (a
+	// cycle-level wormhole router with per-port input VCs, credit-based
+	// flow control and round-robin allocation). Packet latencies — and
+	// therefore the congestion telemetry — follow it; flit-hop traffic
+	// accounting is identical under both.
+	Router string
 
 	L1Bytes int // private L1 data cache per tile
 	L1Assoc int
@@ -83,6 +90,7 @@ func Default() Config {
 		MeshWidth:  4,
 		MeshHeight: 4,
 		Topology:   "mesh",
+		Router:     "ideal",
 
 		L1Bytes: 32 * 1024,
 		L1Assoc: 8,
@@ -135,6 +143,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memsys: tiles %d != mesh %dx%d", c.Tiles, c.MeshWidth, c.MeshHeight)
 	}
 	if _, err := mesh.NewTopology(c.Topology, c.MeshWidth, c.MeshHeight); err != nil {
+		return fmt.Errorf("memsys: %w", err)
+	}
+	if err := mesh.ValidRouter(c.Router); err != nil {
 		return fmt.Errorf("memsys: %w", err)
 	}
 	if len(c.MCTiles) == 0 {

@@ -114,6 +114,7 @@ func NewEnv(cfg Config, footprintBytes uint32, regions []Region) (*Env, error) {
 		Mesh: mesh.New(k, mesh.Config{
 			Width: cfg.MeshWidth, Height: cfg.MeshHeight,
 			Topology:    cfg.Topology,
+			Router:      cfg.Router,
 			LinkLatency: cfg.LinkLatency, LocalLatency: 1,
 		}),
 		Cfg:     cfg,
@@ -148,8 +149,10 @@ func (e *Env) MemWrite(addr uint32, val uint32) {
 }
 
 // StartMeasurement flips profiler and traffic recorder into measured mode
-// after the warm-up phases.
+// after the warm-up phases and opens a fresh congestion-telemetry window
+// on the fabric.
 func (e *Env) StartMeasurement() {
 	e.Prof.StartMeasurement()
 	e.Traffic.StartMeasurement()
+	e.Mesh.ResetStats()
 }

@@ -1,0 +1,57 @@
+package mesh
+
+import "testing"
+
+// FuzzRouteMinimality fuzzes the routing contract every fabric model
+// leans on: for an arbitrary registered topology, geometry and tile pair,
+// iterating NextPort from src must terminate at dst in exactly
+// Hops(src, dst) steps, with every step crossing a link the topology
+// enumerates. The checked-in corpus under testdata/fuzz seeds the edge
+// geometries (1-wide grids, wraparound tie-breaks, corner-to-corner
+// routes).
+func FuzzRouteMinimality(f *testing.F) {
+	f.Add(0, 4, 4, 0, 15)  // mesh corner to corner
+	f.Add(1, 4, 4, 0, 8)   // ring antipode (tie goes clockwise)
+	f.Add(2, 4, 4, 0, 10)  // torus diameter route
+	f.Add(2, 1, 7, 3, 5)   // degenerate 1-wide torus
+	f.Add(1, 16, 1, 15, 0) // long ring wrap
+	f.Fuzz(func(t *testing.T, kindIdx, w, h, srcRaw, dstRaw int) {
+		kinds := TopologyKinds()
+		kind := kinds[((kindIdx%len(kinds))+len(kinds))%len(kinds)]
+		width := ((w%8)+8)%8 + 1
+		height := ((h%8)+8)%8 + 1
+		topo, err := NewTopology(kind, width, height)
+		if err != nil {
+			t.Fatalf("%s %dx%d rejected: %v", kind, width, height, err)
+		}
+		n := topo.Tiles()
+		src := ((srcRaw % n) + n) % n
+		dst := ((dstRaw % n) + n) % n
+
+		links := make(map[Link]bool, len(topo.Links()))
+		for _, l := range topo.Links() {
+			links[l] = true
+		}
+		steps, cur := 0, src
+		for cur != dst {
+			port, next := topo.NextPort(cur, dst)
+			if port < 0 || port >= topo.Ports() {
+				t.Fatalf("%s %dx%d: NextPort(%d,%d) port %d out of range",
+					kind, width, height, cur, dst, port)
+			}
+			if !links[Link{cur, port, next}] {
+				t.Fatalf("%s %dx%d: route %d->%d uses unlisted link %d -[%d]-> %d",
+					kind, width, height, src, dst, cur, port, next)
+			}
+			cur = next
+			steps++
+			if steps > n {
+				t.Fatalf("%s %dx%d: route %d->%d does not terminate", kind, width, height, src, dst)
+			}
+		}
+		if want := topo.Hops(src, dst); steps != want {
+			t.Fatalf("%s %dx%d: route %d->%d took %d steps, Hops says %d",
+				kind, width, height, src, dst, steps, want)
+		}
+	})
+}

@@ -1,5 +1,6 @@
 // Package mesh models an on-chip interconnect with pluggable topologies,
-// per-link serialization, and wormhole-style pipelining.
+// pluggable router models, per-link serialization, and wormhole-style
+// pipelining.
 //
 // The fabric (Mesh) is topology-agnostic: geometry and routing live behind
 // the Topology interface, with three registered implementations — the
@@ -12,23 +13,37 @@
 // links contributes f*h flit-hops, so per-topology route lengths flow
 // directly into the paper's traffic telemetry.
 //
-// Each directed link forwards one flit per cycle; the model reserves links
-// for the full serialization time of a packet, so contention on hot links
-// delays later packets. This is a wormhole approximation (no virtual
-// channels, no credit stalls), which is sufficient for the flit-hop and
-// queuing behaviour studied in the paper.
+// The forwarding model is likewise pluggable (see router.go):
+//
+//   - Router "ideal" (default): each directed link forwards one flit per
+//     cycle and the model reserves links for the full serialization time
+//     of a packet at injection, so contention on hot links delays later
+//     packets. This is the wormhole approximation the paper's figures are
+//     built on (no virtual channels, no credit stalls).
+//   - Router "vc": a cycle-level wormhole router with per-port input VCs,
+//     credit-based flow control and round-robin VC/switch allocation (see
+//     vc.go), which exposes the congestion effects the ideal model hides.
+//
+// Either way the fabric records congestion telemetry — a packet-latency
+// histogram, per-link utilization, and (for "vc") peak VC buffer
+// occupancy — snapshotted with Stats and zeroed with ResetStats at the
+// start of the measured window.
 package mesh
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim"
 )
 
-// Config describes network geometry and link parameters.
+// Config describes network geometry, link parameters and the router model.
 type Config struct {
 	Width, Height int    // tiles in X and Y (the ring linearizes them)
 	Topology      string // "mesh" (default), "ring", or "torus"
+	Router        string // "ideal" (default) or "vc"
+	VCs           int    // vc router: virtual channels per input port (default 2, min 2)
+	VCDepth       int    // vc router: flit buffer depth per VC (default 4)
 	LinkLatency   int64  // cycles for a flit to traverse one link
 	LocalLatency  int64  // cycles for a same-tile (0-hop) delivery
 }
@@ -36,24 +51,37 @@ type Config struct {
 // Handler receives a delivered payload at a tile.
 type Handler func(payload any)
 
+// LatencyBins is the number of log2 buckets in the packet-latency
+// histogram: bucket 0 counts zero-latency deliveries, bucket b counts
+// latencies in [2^(b-1), 2^b), and the last bucket absorbs the tail.
+const LatencyBins = 20
+
 // Mesh is the interconnect fabric. Create one with New.
 type Mesh struct {
 	cfg      Config
 	topo     Topology
 	k        *sim.Kernel
 	handlers []Handler
-	// linkFree[t][p] is the cycle at which tile t's outgoing link on port
-	// p becomes free. Port meanings are topology-defined.
-	linkFree [][]int64
+	r        router
 
-	// Telemetry.
+	// Cumulative telemetry (never reset).
 	packets  uint64
 	flitHops uint64
+
+	// Congestion telemetry, zeroed by ResetStats at measurement start.
+	statsStart int64
+	delivered  uint64
+	latSum     int64
+	latMax     int64
+	latHist    [LatencyBins]uint64
+	linkBusy   [][]int64 // [tile][port] flit-cycles of link occupancy
+	peakVC     int       // vc router: max buffered flits in any input VC
 }
 
-// New creates an interconnect driven by kernel k. Unknown topology names
-// panic; validate them beforehand with NewTopology (memsys.Config.Validate
-// does) when the name comes from user input.
+// New creates an interconnect driven by kernel k. Unknown topology or
+// router names panic; validate them beforehand with NewTopology /
+// ValidRouter (memsys.Config.Validate does) when the names come from user
+// input.
 func New(k *sim.Kernel, cfg Config) *Mesh {
 	topo, err := NewTopology(cfg.Topology, cfg.Width, cfg.Height)
 	if err != nil {
@@ -66,21 +94,30 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 		cfg.LocalLatency = 1
 	}
 	n := topo.Tiles()
-	linkFree := make([][]int64, n)
-	for i := range linkFree {
-		linkFree[i] = make([]int64, topo.Ports())
+	linkBusy := make([][]int64, n)
+	for i := range linkBusy {
+		linkBusy[i] = make([]int64, topo.Ports())
 	}
-	return &Mesh{
+	m := &Mesh{
 		cfg:      cfg,
 		topo:     topo,
 		k:        k,
 		handlers: make([]Handler, n),
-		linkFree: linkFree,
+		linkBusy: linkBusy,
 	}
+	ctor, err := newRouterCtor(cfg.Router)
+	if err != nil {
+		panic(err.Error())
+	}
+	m.r = ctor(m)
+	return m
 }
 
 // Topology returns the routing geometry the fabric was built with.
 func (m *Mesh) Topology() Topology { return m.topo }
+
+// Router returns the name of the forwarding model in use.
+func (m *Mesh) Router() string { return m.r.kind() }
 
 // Tiles returns the number of tiles.
 func (m *Mesh) Tiles() int { return m.topo.Tiles() }
@@ -108,35 +145,41 @@ func (m *Mesh) Send(src, dst, flits int, payload any) int {
 	}
 	m.packets++
 	if src == dst {
-		m.deliver(dst, payload, m.k.Now()+m.cfg.LocalLatency)
+		now := m.k.Now()
+		m.complete(dst, payload, now, now+m.cfg.LocalLatency)
 		return 0
 	}
-	hops := 0
-	t := m.k.Now() // header ready to leave current router
-	cur := src
-	for cur != dst {
-		port, next := m.topo.NextPort(cur, dst)
-		start := t
-		if free := m.linkFree[cur][port]; free > start {
-			start = free
-		}
-		m.linkFree[cur][port] = start + int64(flits) // serialization
-		t = start + m.cfg.LinkLatency                // header at next router
-		cur = next
-		hops++
-	}
-	// The tail flit arrives flits-1 cycles after the header.
-	m.deliver(dst, payload, t+int64(flits-1))
+	hops := m.r.inject(src, dst, flits, payload)
 	m.flitHops += uint64(flits * hops)
 	return hops
 }
 
-func (m *Mesh) deliver(dst int, payload any, at int64) {
+// complete schedules the final delivery of a packet and records its
+// latency when the delivery event fires, so warm-up deliveries never leak
+// into the measured window.
+func (m *Mesh) complete(dst int, payload any, injectedAt, at int64) {
 	h := m.handlers[dst]
 	if h == nil {
 		panic(fmt.Sprintf("mesh: no handler registered for tile %d", dst))
 	}
-	m.k.At(at, func() { h(payload) })
+	lat := at - injectedAt
+	m.k.At(at, func() {
+		m.recordLatency(lat)
+		h(payload)
+	})
+}
+
+func (m *Mesh) recordLatency(lat int64) {
+	m.delivered++
+	m.latSum += lat
+	if lat > m.latMax {
+		m.latMax = lat
+	}
+	b := bits.Len64(uint64(lat))
+	if b >= LatencyBins {
+		b = LatencyBins - 1
+	}
+	m.latHist[b]++
 }
 
 // Packets returns the number of packets injected so far.
@@ -144,6 +187,69 @@ func (m *Mesh) Packets() uint64 { return m.packets }
 
 // FlitHops returns total flit-hops carried so far.
 func (m *Mesh) FlitHops() uint64 { return m.flitHops }
+
+// NetStats is a detached congestion-telemetry snapshot covering the window
+// since the last ResetStats.
+type NetStats struct {
+	Router    string // forwarding model the fabric ran
+	Delivered uint64 // packets delivered in the window
+	Cycles    int64  // window length in cycles
+
+	LatencyMean float64             // mean injection-to-delivery packet latency
+	LatencyMax  int64               // worst packet latency observed
+	LatencyHist [LatencyBins]uint64 // log2-bucketed latency histogram
+
+	LinkUtilMean float64 // mean directed-link utilization (flit-cycles/cycle)
+	LinkUtilMax  float64 // utilization of the hottest directed link
+
+	PeakVCOccupancy int // vc router: max flits buffered in any input VC (0 for ideal)
+}
+
+// Stats snapshots the congestion telemetry accumulated since the last
+// ResetStats (or since construction).
+func (m *Mesh) Stats() NetStats {
+	s := NetStats{
+		Router:          m.r.kind(),
+		Delivered:       m.delivered,
+		Cycles:          m.k.Now() - m.statsStart,
+		LatencyMax:      m.latMax,
+		LatencyHist:     m.latHist,
+		PeakVCOccupancy: m.peakVC,
+	}
+	if m.delivered > 0 {
+		s.LatencyMean = float64(m.latSum) / float64(m.delivered)
+	}
+	if s.Cycles > 0 {
+		links := m.topo.Links()
+		var sum float64
+		for _, l := range links {
+			u := float64(m.linkBusy[l.From][l.Port]) / float64(s.Cycles)
+			sum += u
+			if u > s.LinkUtilMax {
+				s.LinkUtilMax = u
+			}
+		}
+		if len(links) > 0 {
+			s.LinkUtilMean = sum / float64(len(links))
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes the congestion telemetry and restarts its measurement
+// window at the current cycle. The cumulative Packets/FlitHops counters
+// are unaffected.
+func (m *Mesh) ResetStats() {
+	m.statsStart = m.k.Now()
+	m.delivered, m.latSum, m.latMax = 0, 0, 0
+	m.latHist = [LatencyBins]uint64{}
+	for i := range m.linkBusy {
+		for j := range m.linkBusy[i] {
+			m.linkBusy[i][j] = 0
+		}
+	}
+	m.peakVC = 0
+}
 
 func abs(v int) int {
 	if v < 0 {

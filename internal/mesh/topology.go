@@ -29,6 +29,17 @@ type Topology interface {
 	NextPort(cur, dst int) (port, next int)
 	// Links enumerates every directed link in the network.
 	Links() []Link
+	// PortAxis returns the dimension a port moves along; ports of the
+	// same dimension share a value. The vc router resets its dateline VC
+	// class when a route switches axes.
+	PortAxis(port int) int
+	// Wraparound reports whether the directed link leaving tile from on
+	// port crosses its dimension's wraparound boundary (the dateline).
+	// The vc router moves packets to the upper VC class after such a
+	// hop, which is what keeps wraparound topologies deadlock-free — a
+	// topology with wrap links that does not report them here can
+	// deadlock the credit loop.
+	Wraparound(from, port int) bool
 }
 
 // Link is one directed channel: tile From's output port Port leads to
@@ -105,6 +116,12 @@ func (m *XYMesh) NextPort(cur, dst int) (port, next int) {
 	return port, y*m.w + x
 }
 
+// PortAxis implements Topology: E/W move along X, S/N along Y.
+func (m *XYMesh) PortAxis(port int) int { return port / 2 }
+
+// Wraparound implements Topology: a grid mesh has no wraparound links.
+func (m *XYMesh) Wraparound(from, port int) bool { return false }
+
 // Links implements Topology: each tile links to its in-grid neighbours.
 func (m *XYMesh) Links() []Link {
 	var ls []Link
@@ -162,6 +179,15 @@ func (r *Ring) NextPort(cur, dst int) (port, next int) {
 		return portCW, (cur + 1) % r.n
 	}
 	return portCCW, (cur - 1 + r.n) % r.n
+}
+
+// PortAxis implements Topology: the ring is one dimension.
+func (r *Ring) PortAxis(port int) int { return 0 }
+
+// Wraparound implements Topology: the dateline sits between tiles n-1
+// and 0.
+func (r *Ring) Wraparound(from, port int) bool {
+	return (port == portCW && from == r.n-1) || (port == portCCW && from == 0)
 }
 
 // Links implements Topology: two directed links per tile.
@@ -228,6 +254,26 @@ func (t *Torus) NextPort(cur, dst int) (port, next int) {
 		return portSouth, ((y+1)%t.h)*t.w + x
 	}
 	return portNorth, ((y-1+t.h)%t.h)*t.w + x
+}
+
+// PortAxis implements Topology: E/W move along X, S/N along Y.
+func (t *Torus) PortAxis(port int) int { return port / 2 }
+
+// Wraparound implements Topology: each dimension's dateline sits at its
+// grid edge.
+func (t *Torus) Wraparound(from, port int) bool {
+	x, y := from%t.w, from/t.w
+	switch port {
+	case portEast:
+		return x == t.w-1
+	case portWest:
+		return x == 0
+	case portSouth:
+		return y == t.h-1
+	case portNorth:
+		return y == 0
+	}
+	return false
 }
 
 // Links implements Topology: four directed links per tile, wrapping at the

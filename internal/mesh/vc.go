@@ -1,0 +1,328 @@
+package mesh
+
+// The cycle-level virtual-channel wormhole router (Config.Router = "vc").
+//
+// Every router has, per incoming link, VCs flit buffers of VCDepth entries
+// each, managed with credit-based flow control: a flit may leave upstream
+// only while the downstream buffer has a free slot, and the credit returns
+// one link latency after the slot frees. Each cycle every router performs,
+// in fixed tile/port order:
+//
+//   - VC allocation: a header flit at the front of an input VC (or the
+//     source queue) claims a free downstream VC in its dateline class,
+//     round-robin per output port;
+//   - switch allocation: each output port (plus the ejection port) accepts
+//     at most one flit per cycle, chosen round-robin over the (input port,
+//     VC) candidates, and each input port supplies at most one flit per
+//     cycle;
+//   - link traversal: the winning flit reaches the downstream buffer
+//     LinkLatency cycles later.
+//
+// Determinism: the whole network advances inside a single self-scheduling
+// kernel event per cycle ("tick"), which only runs while packets are in
+// flight, and every allocation scan uses fixed iteration order plus
+// per-port round-robin pointers. Two runs that inject the same packets at
+// the same cycles therefore produce identical deliveries.
+//
+// Deadlock freedom: routing is minimal and dimension-ordered, and the VCs
+// are split into two dateline classes — packets start in class 0 and move
+// to class 1 for the rest of the dimension after crossing a wraparound
+// (dateline) link, so the ring and torus channel-dependency cycles are
+// broken exactly as in the classic dateline scheme. Meshes never wrap and
+// simply use class 0.
+
+const (
+	defaultVCs     = 2
+	defaultVCDepth = 4
+)
+
+// vcPkt is one packet traveling the VC network.
+type vcPkt struct {
+	dst, flits int
+	payload    any
+	injectAt   int64
+}
+
+// hopState tracks a packet streaming through one router stage: an input VC
+// or the head of a source (injection) queue.
+type hopState struct {
+	pkt     *vcPkt
+	outPort int // output port at this node; topo.Ports() means ejection
+	class   int // dateline VC class held at this node (0 or 1)
+	axis    int // axis (port/2) of the hop that reached this node; -1 at source
+	downVC  int // VC allocated at the downstream input port; -1 = none yet
+	sent    int // flits this stage has forwarded
+}
+
+// inVC is one input virtual channel: streaming state plus the buffered
+// flits' arrival cycles (a slot is reserved from the moment the upstream
+// sends, which is what the credit counter tracks).
+type inVC struct {
+	hopState
+	arrivals []int64
+}
+
+type linkEnd struct{ node, port int }
+
+type vcNode struct {
+	injQ    []*vcPkt
+	inj     hopState
+	in      [][]inVC  // [input port][vc]
+	ups     []linkEnd // upstream (node, output port) feeding each input port
+	downTo  []int     // downstream node per output port; -1 = no link
+	downIn  []int     // downstream input-port index per output port
+	wrap    []bool    // per output port: wraparound (dateline-crossing) link
+	credits [][]int   // [output port][downstream vc]: free buffer slots
+	outRR   []int     // switch-allocation round-robin pointer per output port
+	vcRR    []int     // VC-allocation round-robin pointer per output port
+	usedIn  []bool    // input port already supplied a flit this cycle
+	active  int       // packets currently staged at this node
+}
+
+type vcRouter struct {
+	m        *Mesh
+	vcs      int
+	depth    int
+	eject    int // pseudo output port index = topo.Ports()
+	nodes    []vcNode
+	inFlight int
+	ticking  bool
+}
+
+func newVCRouter(m *Mesh) *vcRouter {
+	vcs := m.cfg.VCs
+	if vcs < 2 {
+		vcs = defaultVCs // the dateline scheme needs two classes
+	}
+	depth := m.cfg.VCDepth
+	if depth <= 0 {
+		depth = defaultVCDepth
+	}
+	ports := m.topo.Ports()
+	r := &vcRouter{m: m, vcs: vcs, depth: depth, eject: ports}
+	r.nodes = make([]vcNode, m.topo.Tiles())
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		nd.downTo = make([]int, ports)
+		for p := range nd.downTo {
+			nd.downTo[p] = -1
+		}
+		nd.downIn = make([]int, ports)
+		nd.wrap = make([]bool, ports)
+		nd.credits = make([][]int, ports)
+		nd.outRR = make([]int, ports+1)
+		nd.vcRR = make([]int, ports)
+		nd.inj.downVC = -1
+	}
+	for _, l := range m.topo.Links() {
+		to := &r.nodes[l.To]
+		idx := len(to.in)
+		row := make([]inVC, vcs)
+		for v := range row {
+			row[v].downVC = -1
+		}
+		to.in = append(to.in, row)
+		to.ups = append(to.ups, linkEnd{l.From, l.Port})
+		from := &r.nodes[l.From]
+		from.downTo[l.Port] = l.To
+		from.downIn[l.Port] = idx
+		from.wrap[l.Port] = m.topo.Wraparound(l.From, l.Port)
+		cr := make([]int, vcs)
+		for v := range cr {
+			cr[v] = depth
+		}
+		from.credits[l.Port] = cr
+	}
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		nd.usedIn = make([]bool, len(nd.in)+1)
+	}
+	return r
+}
+
+func (r *vcRouter) kind() string { return "vc" }
+
+func (r *vcRouter) inject(src, dst, flits int, payload any) int {
+	pkt := &vcPkt{dst: dst, flits: flits, payload: payload, injectAt: r.m.k.Now()}
+	nd := &r.nodes[src]
+	nd.injQ = append(nd.injQ, pkt)
+	if len(nd.injQ) == 1 {
+		r.startInjection(src, nd)
+	}
+	r.inFlight++
+	r.schedule()
+	return r.m.topo.Hops(src, dst)
+}
+
+// startInjection stages the head of a source queue for switch allocation.
+func (r *vcRouter) startInjection(n int, nd *vcNode) {
+	s := &nd.inj
+	s.pkt = nd.injQ[0]
+	s.sent = 0
+	s.class = 0
+	s.axis = -1
+	s.downVC = -1
+	s.outPort, _ = r.m.topo.NextPort(n, s.pkt.dst)
+	nd.active++
+}
+
+func (r *vcRouter) schedule() {
+	if r.ticking {
+		return
+	}
+	r.ticking = true
+	r.m.k.After(1, r.tick)
+}
+
+// tick advances the whole network by one cycle.
+func (r *vcRouter) tick() {
+	r.ticking = false
+	now := r.m.k.Now()
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		if nd.active == 0 {
+			continue
+		}
+		for j := range nd.usedIn {
+			nd.usedIn[j] = false
+		}
+		for out := 0; out <= r.eject; out++ {
+			r.serviceOutput(i, nd, out, now)
+		}
+	}
+	if r.inFlight > 0 {
+		r.schedule()
+	}
+}
+
+// serviceOutput runs VC + switch allocation for one output port: scan the
+// (input port, VC) candidates round-robin and forward the first winner.
+func (r *vcRouter) serviceOutput(n int, nd *vcNode, out int, now int64) {
+	numIn := len(nd.in)
+	total := numIn*r.vcs + 1 // +1: the source queue head
+	start := nd.outRR[out]
+	for k := 1; k <= total; k++ {
+		id := (start + k) % total
+		var s *hopState
+		var buf *inVC
+		inPort, vcIdx := numIn, -1 // defaults: the source queue
+		if id < numIn*r.vcs {
+			inPort, vcIdx = id/r.vcs, id%r.vcs
+			buf = &nd.in[inPort][vcIdx]
+			s = &buf.hopState
+			if len(buf.arrivals) == 0 || buf.arrivals[0] > now {
+				continue
+			}
+		} else {
+			s = &nd.inj
+		}
+		if s.pkt == nil || s.outPort != out || nd.usedIn[inPort] {
+			continue
+		}
+		if out != r.eject {
+			if s.downVC < 0 && !r.allocVC(nd, s, out) {
+				continue // no free downstream VC for this header
+			}
+			if nd.credits[out][s.downVC] == 0 {
+				continue // downstream buffer full
+			}
+		}
+		r.forward(n, nd, out, inPort, vcIdx, s, buf, now)
+		nd.outRR[out] = id
+		return
+	}
+}
+
+// allocVC claims a free downstream input VC in the packet's dateline class
+// and stages the packet's streaming state at the downstream node.
+func (r *vcRouter) allocVC(nd *vcNode, s *hopState, out int) bool {
+	class := s.class
+	if r.m.topo.PortAxis(out) != s.axis {
+		class = 0 // a new dimension starts a new dateline ring
+	}
+	if nd.wrap[out] {
+		class = 1 // crossing the dateline moves to the upper VC class
+	}
+	half := r.vcs / 2
+	lo, hi := 0, half
+	if class == 1 {
+		lo, hi = half, r.vcs
+	}
+	d := nd.downTo[out]
+	down := &r.nodes[d]
+	width := hi - lo
+	start := nd.vcRR[out]
+	for k := 0; k < width; k++ {
+		w := lo + (start+k)%width
+		tgt := &down.in[nd.downIn[out]][w]
+		if tgt.pkt != nil {
+			continue
+		}
+		nd.vcRR[out] = (start + k + 1) % width
+		s.downVC = w
+		tgt.pkt = s.pkt
+		tgt.sent = 0
+		tgt.class = class
+		tgt.axis = r.m.topo.PortAxis(out)
+		tgt.downVC = -1
+		tgt.arrivals = tgt.arrivals[:0]
+		if d == s.pkt.dst {
+			tgt.outPort = r.eject
+		} else {
+			tgt.outPort, _ = r.m.topo.NextPort(d, s.pkt.dst)
+		}
+		down.active++
+		return true
+	}
+	return false
+}
+
+// forward moves one flit out of a stage: onto the link toward the
+// downstream buffer, or off the network at the ejection port.
+func (r *vcRouter) forward(n int, nd *vcNode, out, inPort, vcIdx int, s *hopState, buf *inVC, now int64) {
+	nd.usedIn[inPort] = true
+	s.sent++
+	tail := s.sent == s.pkt.flits
+	if buf != nil {
+		// The flit frees a buffer slot; the credit reaches the upstream
+		// router one link traversal later.
+		buf.arrivals = buf.arrivals[1:]
+		up := nd.ups[inPort]
+		upNode := &r.nodes[up.node]
+		r.m.k.After(r.m.cfg.LinkLatency, func() { upNode.credits[up.port][vcIdx]++ })
+	}
+	if out == r.eject {
+		if tail {
+			r.m.complete(n, s.pkt.payload, s.pkt.injectAt, now)
+			r.inFlight--
+			r.release(n, nd, s)
+		}
+		return
+	}
+	tgt := &r.nodes[nd.downTo[out]].in[nd.downIn[out]][s.downVC]
+	tgt.arrivals = append(tgt.arrivals, now+r.m.cfg.LinkLatency)
+	if occ := len(tgt.arrivals); occ > r.m.peakVC {
+		r.m.peakVC = occ
+	}
+	nd.credits[out][s.downVC]--
+	r.m.linkBusy[n][out]++
+	if tail {
+		r.release(n, nd, s)
+	}
+}
+
+// release retires a packet's stage at this node once its tail has left,
+// freeing the VC (or advancing the source queue) for the next packet.
+func (r *vcRouter) release(n int, nd *vcNode, s *hopState) {
+	nd.active--
+	if s == &nd.inj {
+		nd.injQ = nd.injQ[1:]
+		s.pkt = nil
+		if len(nd.injQ) > 0 {
+			r.startInjection(n, nd)
+		}
+		return
+	}
+	s.pkt = nil
+	s.downVC = -1
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+// FuzzWorkloadDRF fuzzes the two properties the experiment engine builds
+// on: EmitOps is pure (repeated calls over the same frozen program state
+// emit identical streams — including calls racing from many goroutines,
+// which `go test -race` checks for real) and data-race free (within any
+// phase, an address stored by one thread is never touched by another —
+// the DeNovo prerequisite the functional oracle depends on). The corpus
+// under testdata/fuzz seeds every benchmark at both thread-count
+// extremes.
+func FuzzWorkloadDRF(f *testing.F) {
+	for i := range Names() {
+		f.Add(i, 16)
+		f.Add(i, 1)
+	}
+	f.Add(3, 7) // radix on a non-power-of-two thread count
+	f.Fuzz(func(t *testing.T, benchIdx, threadsRaw int) {
+		names := Names()
+		name := names[((benchIdx%len(names))+len(names))%len(names)]
+		threads := ((threadsRaw%16)+16)%16 + 1
+		p := ByName(name, Tiny, threads)
+		if p == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if p.Threads() != threads {
+			t.Fatalf("%s: %d threads, want %d", name, p.Threads(), threads)
+		}
+		collect := func(ph, th int) []memsys.Op {
+			var ops []memsys.Op
+			p.EmitOps(ph, th, func(o memsys.Op) { ops = append(ops, o) })
+			return ops
+		}
+		for ph := 0; ph < p.Phases(); ph++ {
+			// First pass: serial reference emission.
+			serial := make([][]memsys.Op, threads)
+			for th := range serial {
+				serial[th] = collect(ph, th)
+			}
+			// Second pass: all threads emit concurrently; the streams must
+			// match the serial ones exactly (purity), and -race verifies
+			// EmitOps never mutates shared program state.
+			concurrent := make([][]memsys.Op, threads)
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					concurrent[th] = collect(ph, th)
+				}(th)
+			}
+			wg.Wait()
+			for th := range serial {
+				if len(serial[th]) != len(concurrent[th]) {
+					t.Fatalf("%s phase %d thread %d: emission not pure (%d vs %d ops)",
+						name, ph, th, len(serial[th]), len(concurrent[th]))
+				}
+				for i := range serial[th] {
+					if serial[th][i] != concurrent[th][i] {
+						t.Fatalf("%s phase %d thread %d op %d differs across calls", name, ph, th, i)
+					}
+				}
+			}
+			// DRF: no address stored by one thread is loaded or stored by
+			// another within the same phase.
+			writer := map[uint32]int{}
+			for th := range serial {
+				for _, op := range serial[th] {
+					if op.Kind != memsys.OpStore {
+						continue
+					}
+					if w, ok := writer[op.Addr]; ok && w != th {
+						t.Fatalf("%s phase %d: %#x written by threads %d and %d",
+							name, ph, op.Addr, w, th)
+					}
+					writer[op.Addr] = th
+				}
+			}
+			for th := range serial {
+				for _, op := range serial[th] {
+					if op.Kind != memsys.OpLoad {
+						continue
+					}
+					if w, ok := writer[op.Addr]; ok && w != th {
+						t.Fatalf("%s phase %d: %#x written by thread %d, read by %d",
+							name, ph, op.Addr, w, th)
+					}
+				}
+			}
+		}
+	})
+}

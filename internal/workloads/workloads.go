@@ -55,24 +55,38 @@ func (s Size) String() string {
 	return fmt.Sprintf("Size(%d)", int(s))
 }
 
+// benchmarks is the single source of truth for the six programs, in the
+// paper's figure order: Names, Catalog and ByName all derive from it.
+var benchmarks = []struct {
+	name string
+	ctor func(Size, int) memsys.Program
+}{
+	{"fluidanimate", func(s Size, t int) memsys.Program { return NewFluidanimate(s, t) }},
+	{"LU", func(s Size, t int) memsys.Program { return NewLU(s, t) }},
+	{"FFT", func(s Size, t int) memsys.Program { return NewFFT(s, t) }},
+	{"radix", func(s Size, t int) memsys.Program { return NewRadix(s, t) }},
+	{"barnes", func(s Size, t int) memsys.Program { return NewBarnes(s, t) }},
+	{"kD-tree", func(s Size, t int) memsys.Program { return NewKDTree(s, t) }},
+}
+
 // Catalog returns all six benchmarks at the given scale with the given
 // thread count (the paper uses 16, one per tile).
 func Catalog(size Size, threads int) []memsys.Program {
-	return []memsys.Program{
-		NewFluidanimate(size, threads),
-		NewLU(size, threads),
-		NewFFT(size, threads),
-		NewRadix(size, threads),
-		NewBarnes(size, threads),
-		NewKDTree(size, threads),
+	progs := make([]memsys.Program, len(benchmarks))
+	for i, b := range benchmarks {
+		progs[i] = b.ctor(size, threads)
 	}
+	return progs
 }
 
-// ByName returns the named benchmark, or nil.
+// ByName constructs just the named benchmark, or returns nil for unknown
+// names. Unlike Catalog it does not build (and freeze the state of) the
+// other five programs on the way — callers resolving one benchmark at a
+// time, like the experiment engine and the CLI, pay for exactly one.
 func ByName(name string, size Size, threads int) memsys.Program {
-	for _, p := range Catalog(size, threads) {
-		if p.Name() == name {
-			return p
+	for _, b := range benchmarks {
+		if b.name == name {
+			return b.ctor(size, threads)
 		}
 	}
 	return nil
@@ -80,7 +94,11 @@ func ByName(name string, size Size, threads int) memsys.Program {
 
 // Names lists the benchmark names in the paper's figure order.
 func Names() []string {
-	return []string{"fluidanimate", "LU", "FFT", "radix", "barnes", "kD-tree"}
+	names := make([]string, len(benchmarks))
+	for i, b := range benchmarks {
+		names[i] = b.name
+	}
+	return names
 }
 
 // layout allocates line-aligned regions in a growing footprint.

@@ -31,6 +31,30 @@ func TestCatalogNamesAndOrder(t *testing.T) {
 	}
 }
 
+// ByName's dispatch must cover exactly Names(): every listed name
+// constructs a program reporting that name, the result agrees with the
+// Catalog entry at the same position, and anything else returns nil.
+func TestByNameCoversExactlyNames(t *testing.T) {
+	catalog := tinyCatalog()
+	for i, name := range Names() {
+		p := ByName(name, Tiny, 16)
+		if p == nil {
+			t.Fatalf("ByName(%q) = nil for a listed benchmark", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q) built %q", name, p.Name())
+		}
+		if p.Name() != catalog[i].Name() || p.FootprintBytes() != catalog[i].FootprintBytes() {
+			t.Fatalf("ByName(%q) disagrees with Catalog[%d]", name, i)
+		}
+	}
+	for _, bogus := range []string{"", "fft", "lu", "Radix", "kdtree", "nope"} {
+		if ByName(bogus, Tiny, 16) != nil {
+			t.Fatalf("ByName(%q) constructed a program for an unlisted name", bogus)
+		}
+	}
+}
+
 func TestAllProgramsBasicContract(t *testing.T) {
 	for _, p := range tinyCatalog() {
 		p := p
