@@ -6,7 +6,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/workloads"
@@ -48,6 +50,32 @@ func main() {
 	for _, kind := range mesh.RouterKinds() {
 		fmt.Printf("  %-8s %s\n", kind, mesh.RouterDescription(kind))
 	}
+
+	fmt.Println("\nProtocol registry (trafficsim -protocols; specs compose as base+Option)")
+	fmt.Printf("  %-22s %-8s %-9s %s\n", "spec", "family", "kind", "options")
+	inventory := core.RegistryInventory()
+	for _, v := range inventory {
+		kind := "canonical"
+		switch {
+		case v.Canonical:
+		case strings.Contains(v.Spec, "+"):
+			kind = "composed"
+		default:
+			kind = "extension" // DBypHW: a named alias beyond the paper's nine
+		}
+		opts := strings.Join(v.Options, "+")
+		if opts == "" {
+			opts = "-"
+		}
+		fmt.Printf("  %-22s %-8s %-9s %s\n", v.Spec, v.Family, kind, opts)
+	}
+	fmt.Println("\n  Option tokens:")
+	for _, o := range core.OptionCatalog() {
+		fmt.Printf("    %-8s [%s] %s\n", o.Token, strings.Join(o.Families, ","), o.Desc)
+	}
+	nScenarios := core.ScenarioCount(len(workloads.Names()), len(mesh.TopologyKinds()), len(mesh.RouterKinds()))
+	fmt.Printf("\n  Scenario space: %d registered protocols x %d benchmarks x %d topologies x %d routers = %d configurations\n",
+		len(inventory), len(workloads.Names()), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), nScenarios)
 
 	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")
 	fmt.Printf("  %-14s %-12s %-12s %-12s\n", "application", "tiny", "small", "paper")

@@ -4,10 +4,15 @@
 //
 // Examples:
 //
+// Protocols are resolved through the composable registry: canonical paper
+// names (MESI ... DBypFull) or base+Option specs such as DeNovo+BypL2 or
+// DFlexL1+BypFull (see cmd/papertables for the full inventory).
+//
 //	trafficsim -fig 5.1a -size small
 //	trafficsim -fig all -size tiny -benchmarks FFT,radix
 //	trafficsim -summary -size small
 //	trafficsim -fig 5.2 -protocols MESI,MMemL1,DBypFull
+//	trafficsim -fig 5.1a -protocols MESI,DeNovo,DeNovo+BypL2,DFlexL1+BypFull
 //	trafficsim -fig 5.1a -topology torus -workers 8
 //	trafficsim -fig net -router vc -size tiny -benchmarks FFT
 package main
@@ -26,7 +31,7 @@ func main() {
 	fig := flag.String("fig", "", "figure to print: 5.1a 5.1b 5.1c 5.1d 5.2 5.3a 5.3b 5.3c net, or 'all'")
 	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
-	protoCSV := flag.String("protocols", "", "comma-separated protocol subset (default: all nine)")
+	protoCSV := flag.String("protocols", "", "comma-separated protocol specs: canonical names or base+Option compositions, e.g. MESI,DeNovo+BypL2 (default: the paper's nine)")
 	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")

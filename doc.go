@@ -1,12 +1,16 @@
 // Package repro reproduces "Eliminating on-chip traffic waste: are we
 // there yet?" (Smolinski): a 16-tile multicore memory-system simulator
-// with directory MESI and DeNovo protocol families, a pluggable NoC
-// (mesh, ring, or torus topologies; ideal or cycle-level VC router
-// models with congestion telemetry), DDR3 DRAM, the paper's
-// waste-classification methodology, six benchmark workload generators,
-// and a parallel sharded experiment engine that regenerates every figure
-// of the evaluation (Figures 5.1a-d, 5.2, 5.3a-c) per topology and
-// router, pinned by a golden-figure regression suite.
+// with directory MESI and DeNovo protocol families built as state
+// machines over a shared coherence-controller substrate
+// (internal/coher), a composable protocol registry (the paper's nine
+// canonical names plus base+Option ablation specs such as
+// DeNovo+BypL2), a pluggable NoC (mesh, ring, or torus topologies;
+// ideal or cycle-level VC router models with congestion telemetry),
+// DDR3 DRAM, the paper's waste-classification methodology, six
+// benchmark workload generators, and a parallel sharded experiment
+// engine that regenerates every figure of the evaluation (Figures
+// 5.1a-d, 5.2, 5.3a-c) per topology, router and protocol spec, pinned
+// by a golden-figure regression suite.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/workloads"
@@ -18,10 +19,16 @@ func main() {
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
 	router := flag.String("router", "ideal", "router model: ideal, vc")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU)")
+	extras := flag.Bool("extras", false, "append the registry's composed variants (ablations the paper never ran) to the ladder")
 	flag.Parse()
 
+	protocols := core.ProtocolNames()
+	if *extras {
+		protocols = append(protocols, core.ComposedVariants()...)
+	}
 	m, err := core.RunMatrix(core.MatrixOptions{
 		Size:       workloads.Tiny,
+		Protocols:  protocols,
 		Benchmarks: []string{*bench},
 		Topology:   *topology,
 		Router:     *router,
@@ -43,4 +50,24 @@ func main() {
 	fmt.Println("  DValidateL2- L2 write-validate removes store-side memory fetches")
 	fmt.Println("  DBypL2     - streaming data stops polluting the L2")
 	fmt.Println("  DBypFull   - requests skip the L2 when Bloom filters prove it safe")
+	if *extras {
+		fmt.Println("\nComposed variants (-extras; registry ablations beyond the paper):")
+		desc := map[string]string{
+			"DeNovo+BypL2":       "response bypass alone, without Flex/ValidateL2",
+			"DFlexL1+BypFull":    "Bloom-guarded bypass on the bare Flex protocol",
+			"DValidateL2+FlexL1": "the largest on-chip-only stack",
+			"MESI+MemL1":         "MMemL1 spelled compositionally (identical bars)",
+		}
+		for _, spec := range core.ComposedVariants() {
+			d := desc[spec]
+			if d == "" {
+				// A variant added to the registry after this legend: fall
+				// back to its resolved option set.
+				if v, err := core.ParseProtocol(spec); err == nil {
+					d = v.Family + " + " + strings.Join(v.Options, "+")
+				}
+			}
+			fmt.Printf("  %-19s - %s\n", spec, d)
+		}
+	}
 }

@@ -1,0 +1,27 @@
+package coher
+
+// DrainGate holds a barrier-drain continuation until the owning
+// controller reports quiescence. Both protocol families use the same
+// shape: the driver registers a continuation at the barrier, and every
+// event that could empty the pending state re-checks the gate.
+type DrainGate struct {
+	done func()
+}
+
+// Arm registers the drain continuation. Callers follow with
+// TryFire(quiescent()) to handle the already-drained case.
+func (g *DrainGate) Arm(done func()) { g.done = done }
+
+// Armed reports whether a continuation is pending (diagnostics).
+func (g *DrainGate) Armed() bool { return g.done != nil }
+
+// TryFire fires and clears the continuation when one is armed and the
+// owner is quiescent. It is safe to call unconditionally.
+func (g *DrainGate) TryFire(quiescent bool) {
+	if g.done == nil || !quiescent {
+		return
+	}
+	d := g.done
+	g.done = nil
+	d()
+}

@@ -1,0 +1,65 @@
+package coher
+
+// StoreEntry is one pending non-blocking write.
+type StoreEntry struct {
+	Addr uint32
+	Val  uint32
+}
+
+// StoreBuffer is the core-side queue of pending non-blocking writes
+// (§4.2): a bounded FIFO with newest-wins load forwarding and per-line
+// retirement once the protocol has acquired write permission.
+type StoreBuffer struct {
+	entries []StoreEntry
+	cap     int
+}
+
+// NewStoreBuffer returns a buffer bounded to capacity entries.
+func NewStoreBuffer(capacity int) StoreBuffer {
+	return StoreBuffer{cap: capacity}
+}
+
+// Push enqueues a write; false when the buffer is full (the driver stalls
+// the core and retries on the unstall callback).
+func (b *StoreBuffer) Push(addr, val uint32) bool {
+	if len(b.entries) >= b.cap {
+		return false
+	}
+	b.entries = append(b.entries, StoreEntry{addr, val})
+	return true
+}
+
+// Forward returns the newest pending value for addr, if any (store-buffer
+// forwarding: a core always sees its own program order).
+func (b *StoreBuffer) Forward(addr uint32) (uint32, bool) {
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].Addr == addr {
+			return b.entries[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of pending writes.
+func (b *StoreBuffer) Len() int { return len(b.entries) }
+
+// Empty reports whether no writes are pending.
+func (b *StoreBuffer) Empty() bool { return len(b.entries) == 0 }
+
+// Entries exposes the queue in insertion order (read-only scan for
+// per-line transaction grouping).
+func (b *StoreBuffer) Entries() []StoreEntry { return b.entries }
+
+// RetireLine removes every entry whose address lies on line, calling
+// apply for each in insertion order. lineOf maps an address to its line.
+func (b *StoreBuffer) RetireLine(line uint32, lineOf func(uint32) uint32, apply func(addr, val uint32)) {
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if lineOf(e.Addr) != line {
+			kept = append(kept, e)
+			continue
+		}
+		apply(e.Addr, e.Val)
+	}
+	b.entries = kept
+}

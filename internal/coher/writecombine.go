@@ -1,0 +1,55 @@
+package coher
+
+// WCEntry is one write-combining table entry (§4.2): registrations for a
+// line batched until the line fills, a timeout expires, the line is
+// evicted, or a barrier drains the table.
+type WCEntry struct {
+	Line uint32
+	Mask uint16
+	Born int64
+}
+
+// WriteCombiner is the bounded write-combining table. The flush policy
+// (what message a flush sends) belongs to the protocol; the table only
+// manages entries deterministically.
+type WriteCombiner struct {
+	entries Table[WCEntry]
+}
+
+// NewWriteCombiner returns an empty table.
+func NewWriteCombiner() WriteCombiner {
+	return WriteCombiner{entries: NewTable[WCEntry]()}
+}
+
+// Get returns line's entry, or nil.
+func (c *WriteCombiner) Get(line uint32) *WCEntry { return c.entries.Get(line) }
+
+// Add installs a fresh entry for line, stamped with the current time.
+func (c *WriteCombiner) Add(line uint32, now int64) *WCEntry {
+	e := &WCEntry{Line: line, Born: now}
+	c.entries.Put(line, e)
+	return e
+}
+
+// Remove drops line's entry (flushed or evicted).
+func (c *WriteCombiner) Remove(line uint32) { c.entries.Delete(line) }
+
+// Len returns the number of pending entries.
+func (c *WriteCombiner) Len() int { return c.entries.Len() }
+
+// Oldest returns the entry to flush when the table is full: lowest birth
+// time, ties broken by line address (deterministic across map orders).
+func (c *WriteCombiner) Oldest() *WCEntry {
+	var oldest *WCEntry
+	c.entries.Range(func(_ uint32, e *WCEntry) {
+		if oldest == nil || e.Born < oldest.Born ||
+			(e.Born == oldest.Born && e.Line < oldest.Line) {
+			oldest = e
+		}
+	})
+	return oldest
+}
+
+// SortedLines returns pending lines in ascending order (barrier drains
+// flush in deterministic line order).
+func (c *WriteCombiner) SortedLines() []uint32 { return c.entries.SortedLines() }

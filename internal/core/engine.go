@@ -40,6 +40,19 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	}
 	if opt.Protocols == nil {
 		opt.Protocols = ProtocolNames()
+	} else {
+		// Normalize specs up front so whitespace spellings of one
+		// composition share a matrix key (and unknown specs fail before
+		// any cell runs).
+		normalized := make([]string, len(opt.Protocols))
+		for i, spec := range opt.Protocols {
+			v, err := ParseProtocol(spec)
+			if err != nil {
+				return nil, err
+			}
+			normalized[i] = v.Spec
+		}
+		opt.Protocols = normalized
 	}
 	if opt.Benchmarks == nil {
 		opt.Benchmarks = workloads.Names()

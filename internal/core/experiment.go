@@ -1,18 +1,15 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/denovo"
 	"repro/internal/memsys"
 	"repro/internal/mesh"
-	"repro/internal/mesi"
 	"repro/internal/waste"
 	"repro/internal/workloads"
 )
 
 // ProtocolNames lists the nine configurations of §3.2/§3.3 in the paper's
-// figure order.
+// figure order. The registry (registry.go) accepts these as canonical
+// aliases alongside composable "base+Option" specs.
 func ProtocolNames() []string {
 	return []string{
 		"MESI", "MMemL1",
@@ -20,21 +17,16 @@ func ProtocolNames() []string {
 	}
 }
 
-// NewProtocol instantiates a protocol engine by configuration name on an
-// environment (registering its tiles on the mesh).
-func NewProtocol(env *memsys.Env, name string) (memsys.Protocol, error) {
-	switch name {
-	case "MESI":
-		return mesi.New(env, mesi.Options{}), nil
-	case "MMemL1":
-		return mesi.New(env, mesi.Options{MemToL1: true}), nil
-	default:
-		opt, ok := denovo.VariantByName(name)
-		if !ok {
-			return nil, fmt.Errorf("core: unknown protocol %q", name)
-		}
-		return denovo.New(env, opt), nil
+// NewProtocol instantiates a protocol engine by configuration spec on an
+// environment (registering its tiles on the mesh). The spec is resolved
+// through the composable registry: a canonical name ("DBypL2"), a family
+// root, or a composition ("DeNovo+BypL2", "MESI+MemL1").
+func NewProtocol(env *memsys.Env, spec string) (memsys.Protocol, error) {
+	v, err := ParseProtocol(spec)
+	if err != nil {
+		return nil, err
 	}
+	return v.New(env), nil
 }
 
 // Result is one (protocol, benchmark) measurement, detached from its Env.
@@ -93,7 +85,7 @@ func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, 
 		return nil, err
 	}
 	res := &Result{
-		Protocol:   protoName,
+		Protocol:   proto.Name(), // the normalized registry spec
 		Benchmark:  prog.Name(),
 		FlitHops:   env.Traffic.Snapshot(),
 		Waste:      env.Prof.Snapshot(),

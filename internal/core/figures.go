@@ -41,7 +41,9 @@ func (r *TableRow) Total() float64 {
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	fmt.Fprintf(&b, "%-14s %-12s", "benchmark", "protocol")
+	// The protocol column fits the longest registry spec (composed
+	// variants like DValidateL2+FlexL1), not just the canonical names.
+	fmt.Fprintf(&b, "%-14s %-18s", "benchmark", "protocol")
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, " %14s", c)
 	}
@@ -59,7 +61,7 @@ func (t *Table) String() string {
 			b.WriteString("\n")
 		}
 		prev = r.Bench
-		fmt.Fprintf(&b, "%-14s %-12s", bench, r.Protocol)
+		fmt.Fprintf(&b, "%-14s %-18s", bench, r.Protocol)
 		for _, v := range r.Values {
 			if t.Raw {
 				fmt.Fprintf(&b, " %14.2f", v)

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/denovo"
+	"repro/internal/memsys"
+	"repro/internal/mesi"
+)
+
+// The composable protocol registry. The paper evaluates nine fixed
+// configurations (§3.2/§3.3), each a bundle of orthogonal waste-eliminating
+// optimizations stacked in one order. The registry decomposes the bundles:
+// a protocol spec is a base (a family root or any canonical name) plus
+// zero or more "+Option" suffixes, so the ladder's steps become reachable
+// in any combination — the ablation axes the paper never ran.
+//
+//	MESI                  the paper's baseline
+//	MESI+MemL1            == MMemL1, spelled compositionally
+//	DeNovo+BypL2          response bypass without the Flex/ValidateL2 rungs
+//	DFlexL1+BypFull       Bloom-guarded bypass on the bare Flex protocol
+//
+// The nine paper names remain canonical aliases and resolve bit-identically
+// to their hardwired predecessors (pinned by the golden suite).
+
+// OptionInfo describes one composable optimization token.
+type OptionInfo struct {
+	Token    string
+	Families []string // family roots the token applies to
+	Desc     string
+}
+
+// optionDef wires a token to its per-family appliers (nil = inapplicable).
+type optionDef struct {
+	token     string
+	desc      string
+	applyMESI func(*mesi.Options)
+	applyDNV  func(*denovo.Options)
+}
+
+// optionDefs is the registry's option vocabulary, in canonical order.
+// BypFull subsumes BypL2 (the Bloom-guarded request bypass only triggers
+// on response-bypassed regions), so it sets both flags.
+var optionDefs = []optionDef{
+	{token: "MemL1", desc: "memory controller sends data straight to the requesting L1",
+		applyMESI: func(o *mesi.Options) { o.MemToL1 = true },
+		applyDNV:  func(o *denovo.Options) { o.MemToL1 = true }},
+	{token: "FlexL1", desc: "communication-region (Flex) granularity for on-chip responses",
+		applyDNV: func(o *denovo.Options) { o.FlexL1 = true }},
+	{token: "ValL2", desc: "L2 write-validate + dirty-words-only L2->memory writebacks",
+		applyDNV: func(o *denovo.Options) { o.ValidateL2 = true }},
+	{token: "FlexL2", desc: "Flex applied at the memory controller (dropped words are Excess)",
+		applyDNV: func(o *denovo.Options) { o.FlexL2 = true }},
+	{token: "BypL2", desc: "L2 response bypass for annotated regions",
+		applyDNV: func(o *denovo.Options) { o.BypassResp = true }},
+	{token: "BypFull", desc: "Bloom-filter-guarded L2 request bypass (implies BypL2)",
+		applyDNV: func(o *denovo.Options) { o.BypassResp = true; o.BypassReq = true }},
+	{token: "BypHW", desc: "hardware reuse predictor replaces software bypass annotations",
+		applyDNV: func(o *denovo.Options) { o.PredictBypass = true }},
+}
+
+func optionByToken(token string) *optionDef {
+	for i := range optionDefs {
+		if optionDefs[i].token == token {
+			return &optionDefs[i]
+		}
+	}
+	return nil
+}
+
+// OptionCatalog lists the composable option tokens with the families they
+// apply to.
+func OptionCatalog() []OptionInfo {
+	out := make([]OptionInfo, 0, len(optionDefs))
+	for _, d := range optionDefs {
+		info := OptionInfo{Token: d.token, Desc: d.desc}
+		if d.applyMESI != nil {
+			info.Families = append(info.Families, "MESI")
+		}
+		if d.applyDNV != nil {
+			info.Families = append(info.Families, "DeNovo")
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Variant is one resolved protocol configuration: a spec string, the
+// family it instantiates, and the full option set in canonical order.
+type Variant struct {
+	Spec      string
+	Family    string
+	Canonical bool // one of the paper's nine names
+	Options   []string
+
+	mesiOpt *mesi.Options
+	dnvOpt  *denovo.Options
+}
+
+// New instantiates the variant's protocol engine on an environment.
+func (v *Variant) New(env *memsys.Env) memsys.Protocol {
+	if v.mesiOpt != nil {
+		opt := *v.mesiOpt
+		opt.Name = v.Spec
+		return mesi.New(env, opt)
+	}
+	opt := *v.dnvOpt
+	opt.Name = v.Spec
+	return denovo.New(env, opt)
+}
+
+// dnvOptionTokens lists the canonical tokens a DeNovo option set implies.
+func dnvOptionTokens(o denovo.Options) []string {
+	var t []string
+	if o.MemToL1 {
+		t = append(t, "MemL1")
+	}
+	if o.FlexL1 {
+		t = append(t, "FlexL1")
+	}
+	if o.ValidateL2 {
+		t = append(t, "ValL2")
+	}
+	if o.FlexL2 {
+		t = append(t, "FlexL2")
+	}
+	if o.BypassReq {
+		t = append(t, "BypFull")
+	} else if o.BypassResp {
+		t = append(t, "BypL2")
+	}
+	if o.PredictBypass {
+		t = append(t, "BypHW")
+	}
+	return t
+}
+
+// baseVariant resolves a spec's base token: a family root ("MESI",
+// "DeNovo") or any canonical/extension alias.
+func baseVariant(base string) (*Variant, bool) {
+	switch base {
+	case "MESI":
+		return &Variant{Spec: base, Family: "MESI", Canonical: true, mesiOpt: &mesi.Options{}}, true
+	case "MMemL1":
+		return &Variant{Spec: base, Family: "MESI", Canonical: true,
+			Options: []string{"MemL1"}, mesiOpt: &mesi.Options{MemToL1: true}}, true
+	}
+	if opt, ok := denovo.VariantByName(base); ok {
+		ext := base == "DBypHW"
+		v := &Variant{Spec: base, Family: "DeNovo", Canonical: !ext,
+			Options: dnvOptionTokens(opt)}
+		o := opt
+		o.Name = ""
+		v.dnvOpt = &o
+		return v, true
+	}
+	return nil, false
+}
+
+// ParseProtocol resolves a protocol spec — a base name optionally followed
+// by "+Option" tokens — into a Variant. The base may be a family root
+// (MESI, DeNovo), one of the paper's nine canonical names, or the DBypHW
+// extension; options compose on top.
+func ParseProtocol(spec string) (*Variant, error) {
+	parts := strings.Split(strings.TrimSpace(spec), "+")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	v, ok := baseVariant(parts[0])
+	if !ok {
+		return nil, fmt.Errorf("core: unknown protocol %q (base %q; known bases: %s)",
+			spec, parts[0], strings.Join(append(ProtocolNames(), "DBypHW"), ", "))
+	}
+	for _, token := range parts[1:] {
+		d := optionByToken(token)
+		if d == nil {
+			var all []string
+			for _, o := range optionDefs {
+				all = append(all, o.token)
+			}
+			return nil, fmt.Errorf("core: protocol %q: unknown option %q (options: %s)",
+				spec, token, strings.Join(all, ", "))
+		}
+		switch {
+		case v.mesiOpt != nil:
+			if d.applyMESI == nil {
+				return nil, fmt.Errorf("core: protocol %q: option %q does not apply to the MESI family", spec, token)
+			}
+			d.applyMESI(v.mesiOpt)
+		default:
+			if d.applyDNV == nil {
+				return nil, fmt.Errorf("core: protocol %q: option %q does not apply to the DeNovo family", spec, token)
+			}
+			d.applyDNV(v.dnvOpt)
+		}
+	}
+	if len(parts) > 1 {
+		// The spec is rebuilt from the trimmed parts so whitespace
+		// spellings of one composition share a matrix key.
+		v.Spec = strings.Join(parts, "+")
+		v.Canonical = false
+		if v.mesiOpt != nil {
+			v.Options = nil
+			if v.mesiOpt.MemToL1 {
+				v.Options = []string{"MemL1"}
+			}
+		} else {
+			v.Options = dnvOptionTokens(*v.dnvOpt)
+		}
+	}
+	return v, nil
+}
+
+// ComposedVariants returns the registered compositions beyond the paper's
+// nine configurations (and beyond the DBypHW predictor extension): rungs
+// of the ladder recombined as the orthogonal knobs they are. Each runs
+// end-to-end under the functional oracle like any canonical name.
+func ComposedVariants() []string {
+	return []string{
+		// Response bypass on bare DeNovo: isolates the L2-pollution term
+		// from the Flex and write-validate terms below it in the ladder.
+		"DeNovo+BypL2",
+		// Bloom-guarded request bypass on the bare Flex protocol: how much
+		// of DBypFull's win survives without ValidateL2/MemL1/FlexL2?
+		"DFlexL1+BypFull",
+		// Write-validate L2 with comm-region responses but no MC changes:
+		// the largest on-chip-only stack.
+		"DValidateL2+FlexL1",
+		// The MMemL1 ladder rung spelled compositionally (same engine;
+		// distinct spec so it can sit beside MMemL1 in one matrix).
+		"MESI+MemL1",
+	}
+}
+
+// RegistryInventory resolves every registered configuration: the paper's
+// nine canonical names in figure order, the DBypHW predictor extension,
+// then the composed variants.
+func RegistryInventory() []*Variant {
+	specs := append([]string{}, ProtocolNames()...)
+	specs = append(specs, "DBypHW")
+	specs = append(specs, ComposedVariants()...)
+	out := make([]*Variant, 0, len(specs))
+	for _, spec := range specs {
+		v, err := ParseProtocol(spec)
+		if err != nil {
+			panic(err) // registry self-consistency: all registered specs parse
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ScenarioCount returns the size of the scenario space the registry and
+// engine expose: registered protocols x benchmarks x topologies x router
+// models.
+func ScenarioCount(benchmarks, topologies, routers int) int {
+	return len(RegistryInventory()) * benchmarks * topologies * routers
+}

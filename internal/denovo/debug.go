@@ -9,22 +9,22 @@ import (
 func (s *System) DebugState() string {
 	var b strings.Builder
 	for t, l1 := range s.l1s {
-		if len(l1.mshrs) == 0 && len(l1.wc) == 0 && len(l1.wbBuf) == 0 && l1.pendingRegs == 0 {
+		if l1.mshrs.Len() == 0 && l1.wc.Len() == 0 && l1.wbBuf.Len() == 0 && l1.pendingRegs == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "L1[%d]: wc=%d pendingRegs=%d wbBuf=%d drain=%v\n",
-			t, len(l1.wc), l1.pendingRegs, len(l1.wbBuf), l1.drainDone != nil)
-		for key, m := range l1.mshrs {
+			t, l1.wc.Len(), l1.pendingRegs, l1.wbBuf.Len(), l1.drainGate.Armed())
+		l1.mshrs.Range(func(key uint32, m *mshr) {
 			fmt.Fprintf(&b, "  mshr %#x wanted=%d waiters=%d\n", key, len(m.wanted), len(m.waiters))
 			for a := range m.wanted {
 				fmt.Fprintf(&b, "    want %#x\n", a)
 			}
-		}
+		})
 	}
 	for t, sl := range s.l2s {
-		for line, f := range sl.fetch {
+		sl.fetch.Range(func(line uint32, f *l2Fetch) {
 			fmt.Fprintf(&b, "L2[%d]: fetch %#x retries=%d\n", t, line, len(f.retry))
-		}
+		})
 		for line := range sl.busyEvict {
 			fmt.Fprintf(&b, "L2[%d]: evicting %#x\n", t, line)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/memsys"
 )
 
@@ -21,15 +22,6 @@ type mshr struct {
 	wanted  map[uint32]bool
 	waiters []loadWaiter
 	tIssue  int64
-}
-
-// wcEntry is one write-combining table entry (§4.2): registrations for a
-// line batched until the line fills, a timeout expires, the line is
-// evicted, or a barrier drains the table.
-type wcEntry struct {
-	line uint32
-	mask uint16
-	born int64
 }
 
 // wbEntry is a victim-buffer entry: registered words in flight to the L2,
@@ -50,26 +42,26 @@ type l1Cache struct {
 	tile int
 	c    *cache.Cache
 
-	mshrs map[uint32]*mshr
-	wc    map[uint32]*wcEntry
-	wbBuf map[uint32]*wbEntry
+	mshrs coher.Table[mshr]
+	wc    coher.WriteCombiner
+	wbBuf coher.Table[wbEntry]
 
 	pendingRegs int
-	drainDone   func()
+	drainGate   coher.DrainGate
 
 	blooms    *bloom.L1Bank
 	bloomWait map[int][]func() // key: slice*4096+filterIdx
 }
 
 func newL1(s *System, tile int) *l1Cache {
-	cfg := s.env.Cfg
+	cfg := s.Env.Cfg
 	l := &l1Cache{
 		sys:   s,
 		tile:  tile,
 		c:     cache.New(cfg.L1Bytes, cfg.L1Assoc, memsys.LineBytes),
-		mshrs: make(map[uint32]*mshr),
-		wc:    make(map[uint32]*wcEntry),
-		wbBuf: make(map[uint32]*wbEntry),
+		mshrs: coher.NewTable[mshr](),
+		wc:    coher.NewWriteCombiner(),
+		wbBuf: coher.NewTable[wbEntry](),
 	}
 	if s.opt.BypassReq {
 		l.blooms = bloom.NewL1Bank(cfg.Bloom)
@@ -78,7 +70,7 @@ func newL1(s *System, tile int) *l1Cache {
 	return l
 }
 
-func (l *l1Cache) env() *memsys.Env { return l.sys.env }
+func (l *l1Cache) env() *memsys.Env { return l.sys.Env }
 
 // --- loads ---
 
@@ -97,11 +89,11 @@ func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsy
 		done(ln.Data[w], memsys.Sample{Point: memsys.PointL1})
 		return
 	}
-	if _, busy := l.wbBuf[line]; busy {
-		env.K.After(env.Cfg.RetryBackoff, func() { l.loadAttempt(addr, tIssue, done) })
+	if l.wbBuf.Has(line) {
+		l.sys.RetryAfter(func() { l.loadAttempt(addr, tIssue, done) })
 		return
 	}
-	if m, ok := l.mshrs[line]; ok {
+	if m := l.mshrs.Get(line); m != nil {
 		m.waiters = append(m.waiters, loadWaiter{addr, done})
 		if !m.wanted[addr] {
 			// The in-flight request did not cover this word; ask again.
@@ -112,7 +104,7 @@ func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsy
 	}
 	m := &mshr{key: line, wanted: map[uint32]bool{}, tIssue: tIssue}
 	m.waiters = append(m.waiters, loadWaiter{addr, done})
-	l.mshrs[line] = m
+	l.mshrs.Put(line, m)
 
 	region := env.Regions.ByAddr(addr)
 	flex := l.sys.opt.FlexL1 && region != nil && region.InComm(addr)
@@ -137,7 +129,7 @@ func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsy
 		}
 	}
 	// The critical word is always requested.
-	if !contains(wants, memsys.WordAddr(addr)) {
+	if !coher.ContainsU32(wants, memsys.WordAddr(addr)) {
 		wants = append(wants, memsys.WordAddr(addr))
 	}
 	for _, wa := range wants {
@@ -160,17 +152,14 @@ type reqMeta struct {
 }
 
 func (l *l1Cache) sendLoadReq(m *mshr, wants []uint32, meta *reqMeta) {
-	env := l.env()
-	home := env.Cfg.HomeTile(m.key)
-	hops := env.Mesh.Hops(l.tile, home)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
+	home := l.env().Cfg.HomeTile(m.key)
 	req := &dvnLoadReq{key: m.key, from: l.tile, wants: wants, tIssue: m.tIssue}
 	if meta != nil {
 		req.crit, req.bypass, req.flex = meta.crit, meta.bypass, meta.flex
 	} else {
 		req.crit = wants[0]
 	}
-	l.sys.send(l.tile, home, 1, req)
+	l.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, l.tile, home, req)
 }
 
 // tryRequestBypass consults the L1 Bloom filter copies (§4.4): when the
@@ -190,9 +179,7 @@ func (l *l1Cache) tryRequestBypass(m *mshr, crit uint32, wants []uint32, flex bo
 		return
 	}
 	mc := env.Cfg.MCTile(m.key)
-	hops := env.Mesh.Hops(l.tile, mc)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-	l.sys.send(l.tile, mc, 1, &dvnMemRead{
+	l.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, l.tile, mc, &dvnMemRead{
 		key: m.key, critLine: m.key, wants: wants,
 		home: home, requestor: l.tile,
 		direct: true, fillL2: false, flex: flex && l.sys.opt.FlexL2,
@@ -203,16 +190,13 @@ func (l *l1Cache) tryRequestBypass(m *mshr, crit uint32, wants []uint32, flex bo
 // fetchBloomCopy requests one filter snapshot from the home slice on
 // demand, coalescing concurrent waiters (§4.4).
 func (l *l1Cache) fetchBloomCopy(slice int, line uint32, cont func()) {
-	env := l.env()
 	idx := l.blooms.FilterIndex(line)
 	key := slice*4096 + idx
 	l.bloomWait[key] = append(l.bloomWait[key], cont)
 	if len(l.bloomWait[key]) > 1 {
 		return // request already in flight
 	}
-	hops := env.Mesh.Hops(l.tile, slice)
-	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhBloom, 1, hops)
-	l.sys.send(l.tile, slice, 1, &dvnBloomReq{idx: idx, from: l.tile})
+	l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhBloom, l.tile, slice, &dvnBloomReq{idx: idx, from: l.tile})
 }
 
 func (l *l1Cache) handleBloomResp(m *dvnBloomResp) {
@@ -253,59 +237,49 @@ func (l *l1Cache) store(addr, val uint32) {
 // wcAdd batches a registration request in the write-combining table.
 func (l *l1Cache) wcAdd(line uint32, w int) {
 	env := l.env()
-	e := l.wc[line]
+	e := l.wc.Get(line)
 	if e == nil {
-		if len(l.wc) >= env.Cfg.WriteCombineEntries {
+		if l.wc.Len() >= env.Cfg.WriteCombineEntries {
 			l.flushOldestWC()
 		}
-		e = &wcEntry{line: line, born: env.K.Now()}
-		l.wc[line] = e
+		e = l.wc.Add(line, env.K.Now())
 		entry := e
 		env.K.After(env.Cfg.WriteCombineTimeout, func() {
-			if l.wc[line] == entry {
+			if l.wc.Get(line) == entry {
 				l.flushWC(entry)
 			}
 		})
 	}
-	e.mask |= 1 << w
-	if e.mask == 0xffff {
+	e.Mask |= 1 << w
+	if e.Mask == 0xffff {
 		l.flushWC(e) // the entire line has been written
 	}
 }
 
 func (l *l1Cache) flushOldestWC() {
-	var oldest *wcEntry
-	for _, e := range l.wc {
-		if oldest == nil || e.born < oldest.born ||
-			(e.born == oldest.born && e.line < oldest.line) { // deterministic tie-break
-			oldest = e
-		}
-	}
-	if oldest != nil {
+	if oldest := l.wc.Oldest(); oldest != nil {
 		l.flushWC(oldest)
 	}
 }
 
-func (l *l1Cache) flushWC(e *wcEntry) {
-	env := l.env()
-	delete(l.wc, e.line)
+func (l *l1Cache) flushWC(e *coher.WCEntry) {
+	l.wc.Remove(e.Line)
 	l.pendingRegs++
-	home := env.Cfg.HomeTile(e.line)
-	hops := env.Mesh.Hops(l.tile, home)
-	env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-	l.sys.send(l.tile, home, 1, &dvnRegister{line: e.line, from: l.tile, mask: e.mask})
+	home := l.env().Cfg.HomeTile(e.Line)
+	l.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, l.tile, home,
+		&dvnRegister{line: e.Line, from: l.tile, mask: e.Mask})
 }
 
 func (l *l1Cache) handleRegAck(m *dvnRegAck) {
 	l.pendingRegs--
-	l.checkDrained()
+	l.drainGate.TryFire(l.drained())
 }
 
 // --- responses ---
 
 func (l *l1Cache) handleData(m *dvnData) {
 	env := l.env()
-	ms := l.mshrs[m.key]
+	ms := l.mshrs.Get(m.key)
 	insts := make([]uint64, 0, len(m.words))
 	for i, addr := range m.words {
 		line, w := memsys.LineOf(addr), memsys.WordIndex(addr)
@@ -368,14 +342,14 @@ func (l *l1Cache) completeWaiters(ms *mshr, sample memsys.Sample) {
 		if len(ms.waiters) != 0 {
 			panic(fmt.Sprintf("denovo: tile %d mshr %#x closed with %d waiters", l.tile, ms.key, len(ms.waiters)))
 		}
-		delete(l.mshrs, ms.key)
+		l.mshrs.Delete(ms.key)
 	}
 }
 
 // handleDeny drops flex-prefetch words that will not be delivered. Denied
 // words with waiters are re-requested individually.
 func (l *l1Cache) handleDeny(m *dvnDeny) {
-	ms := l.mshrs[m.key]
+	ms := l.mshrs.Get(m.key)
 	if ms == nil {
 		return
 	}
@@ -404,21 +378,19 @@ func (l *l1Cache) handleDeny(m *dvnDeny) {
 }
 
 func (l *l1Cache) handleNack(m *dvnNack) {
-	env := l.env()
-	ms := l.mshrs[m.key]
+	ms := l.mshrs.Get(m.key)
 	if ms == nil {
 		return
 	}
-	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, env.Mesh.Hops(m.from, l.tile))
-	env.K.After(env.Cfg.RetryBackoff+int64(l.tile), func() {
-		if l.mshrs[m.key] != ms || len(ms.wanted) == 0 {
+	l.sys.NackBackoff(m.from, l.tile, func() {
+		if l.mshrs.Get(m.key) != ms || len(ms.wanted) == 0 {
 			return
 		}
 		wants := make([]uint32, 0, len(ms.wanted))
 		for a := range ms.wanted {
 			wants = append(wants, a)
 		}
-		sortU32(wants)
+		coher.SortU32(wants)
 		l.sendLoadReq(ms, wants, &reqMeta{crit: wants[0]})
 	})
 }
@@ -426,7 +398,6 @@ func (l *l1Cache) handleNack(m *dvnNack) {
 // handleFwdRead serves a forwarded read as the registered owner; the copy
 // duplicates (the owner stays registered).
 func (l *l1Cache) handleFwdRead(m *dvnFwdRead) {
-	env := l.env()
 	words := make([]uint32, 0, len(m.words))
 	vals := make([]uint32, 0, len(m.words))
 	minsts := make([]uint64, 0, len(m.words))
@@ -438,7 +409,7 @@ func (l *l1Cache) handleFwdRead(m *dvnFwdRead) {
 			minsts = append(minsts, 0)
 			continue
 		}
-		if wb := l.wbBuf[line]; wb != nil && wb.mask&(1<<w) != 0 {
+		if wb := l.wbBuf.Get(line); wb != nil && wb.mask&(1<<w) != 0 {
 			words = append(words, addr)
 			vals = append(vals, wb.vals[w])
 			minsts = append(minsts, 0)
@@ -446,9 +417,8 @@ func (l *l1Cache) handleFwdRead(m *dvnFwdRead) {
 		}
 		panic(fmt.Sprintf("denovo: tile %d forwarded for word %#x it does not own", l.tile, addr))
 	}
-	hops := env.Mesh.Hops(l.tile, m.requestor)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BRespCtl, 1, hops)
-	l.sys.send(l.tile, m.requestor, 1+memsys.DataFlits(len(words)), &dvnData{
+	hops := l.sys.CtlHops(memsys.ClassLD, memsys.BRespCtl, l.tile, m.requestor)
+	l.sys.SendData(l.tile, m.requestor, len(words), &dvnData{
 		key: m.key, words: words, vals: vals, minsts: minsts, hops: hops,
 	})
 }
@@ -487,27 +457,26 @@ func (l *l1Cache) handleRecall(m *dvnRecall) {
 			ln.WState[w] = wInvalid
 			continue
 		}
-		if wb := l.wbBuf[m.line]; wb != nil && wb.mask&(1<<w) != 0 {
+		if wb := l.wbBuf.Get(m.line); wb != nil && wb.mask&(1<<w) != 0 {
 			resp.mask |= 1 << w
 			resp.vals[w] = wb.vals[w]
 		}
 	}
 	home := env.Cfg.HomeTile(m.line)
-	hops := env.Mesh.Hops(l.tile, home)
-	dirty := popcount(resp.mask)
-	env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+	dirty := coher.Popcount16(resp.mask)
+	hops := l.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, l.tile, home)
 	env.Traffic.WBData(false, hops, dirty, 0)
-	l.sys.send(l.tile, home, 1+memsys.DataFlits(dirty), resp)
+	l.sys.SendData(l.tile, home, dirty, resp)
 }
 
 func (l *l1Cache) handleWBAck(m *dvnWBAck) {
-	if wb := l.wbBuf[m.line]; wb != nil {
+	if wb := l.wbBuf.Get(m.line); wb != nil {
 		wb.pending--
 		if wb.pending <= 0 {
-			delete(l.wbBuf, m.line)
+			l.wbBuf.Delete(m.line)
 		}
 	}
-	l.checkDrained()
+	l.drainGate.TryFire(l.drained())
 }
 
 // --- eviction ---
@@ -529,20 +498,15 @@ func (l *l1Cache) evictFor(line uint32) {
 			regMask |= 1 << w
 			vals[w] = victim.Data[w]
 		}
-		env.Prof.L1Evict(victim.Inst[w])
-		if victim.MInst[w] != 0 {
-			env.Prof.MemRelease(victim.MInst[w], false)
-		}
 	}
-	if e := l.wc[vline]; e != nil {
-		// Pending registrations ride along with the writeback.
-		delete(l.wc, vline)
-	}
+	coher.ReleaseL1Line(env, victim, true, false)
+	// Pending registrations ride along with the writeback.
+	l.wc.Remove(vline)
 	l.c.Remove(victim)
 	if regMask == 0 {
 		return
 	}
-	if old := l.wbBuf[vline]; old != nil {
+	if old := l.wbBuf.Get(vline); old != nil {
 		for w := 0; w < lineWords; w++ {
 			if regMask&(1<<w) != 0 {
 				old.vals[w] = vals[w]
@@ -551,17 +515,16 @@ func (l *l1Cache) evictFor(line uint32) {
 		old.mask |= regMask
 		old.pending++
 	} else {
-		l.wbBuf[vline] = &wbEntry{line: vline, mask: regMask, vals: vals, pending: 1}
+		l.wbBuf.Put(vline, &wbEntry{line: vline, mask: regMask, vals: vals, pending: 1})
 	}
 	home := env.Cfg.HomeTile(vline)
-	hops := env.Mesh.Hops(l.tile, home)
-	dirty := popcount(regMask)
-	env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+	dirty := coher.Popcount16(regMask)
+	hops := l.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, l.tile, home)
 	env.Traffic.WBData(false, hops, dirty, 0)
 	if l.sys.opt.BypassReq {
 		l.blooms.InsertLocal(home, vline)
 	}
-	l.sys.send(l.tile, home, 1+memsys.DataFlits(dirty), &dvnWB{
+	l.sys.SendData(l.tile, home, dirty, &dvnWB{
 		line: vline, from: l.tile, mask: regMask, vals: vals,
 	})
 }
@@ -571,29 +534,17 @@ func (l *l1Cache) evictFor(line uint32) {
 func (l *l1Cache) drain(done func()) {
 	// Flush every pending registration (release semantics, §4.2), in
 	// deterministic line order.
-	lines := make([]uint32, 0, len(l.wc))
-	for line := range l.wc {
-		lines = append(lines, line)
-	}
-	sortU32(lines)
-	for _, line := range lines {
-		if e := l.wc[line]; e != nil {
+	for _, line := range l.wc.SortedLines() {
+		if e := l.wc.Get(line); e != nil {
 			l.flushWC(e)
 		}
 	}
-	l.drainDone = done
-	l.checkDrained()
+	l.drainGate.Arm(done)
+	l.drainGate.TryFire(l.drained())
 }
 
-func (l *l1Cache) checkDrained() {
-	if l.drainDone == nil {
-		return
-	}
-	if len(l.wc) == 0 && l.pendingRegs == 0 && len(l.wbBuf) == 0 {
-		d := l.drainDone
-		l.drainDone = nil
-		d()
-	}
+func (l *l1Cache) drained() bool {
+	return l.wc.Len() == 0 && l.pendingRegs == 0 && l.wbBuf.Len() == 0
 }
 
 // selfInvalidate drops non-registered words of the regions written during
@@ -624,21 +575,4 @@ func (l *l1Cache) selfInvalidate(written []uint8) {
 			ln.WState[w] = wInvalid
 		}
 	})
-}
-
-func contains(s []uint32, v uint32) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func sortU32(s []uint32) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/memsys"
 )
 
@@ -30,7 +31,7 @@ type l2Slice struct {
 	tile int
 	c    *cache.Cache
 
-	fetch     map[uint32]*l2Fetch
+	fetch     coher.Table[l2Fetch]
 	busyEvict map[uint32]bool
 	evictCont map[uint32]*evictState
 	gate      map[uint32][]func()
@@ -46,12 +47,12 @@ type evictState struct {
 }
 
 func newL2(s *System, tile int) *l2Slice {
-	cfg := s.env.Cfg
+	cfg := s.Env.Cfg
 	sl := &l2Slice{
 		sys:       s,
 		tile:      tile,
 		c:         cache.New(cfg.L2SliceBytes, cfg.L2Assoc, memsys.LineBytes),
-		fetch:     make(map[uint32]*l2Fetch),
+		fetch:     coher.NewTable[l2Fetch](),
 		busyEvict: make(map[uint32]bool),
 		evictCont: make(map[uint32]*evictState),
 		gate:      make(map[uint32][]func()),
@@ -66,7 +67,7 @@ func newL2(s *System, tile int) *l2Slice {
 	return sl
 }
 
-func (sl *l2Slice) env() *memsys.Env { return sl.sys.env }
+func (sl *l2Slice) env() *memsys.Env { return sl.sys.Env }
 
 // lockLine serializes state mutations per line in arrival order. Timed
 // retries would let an old writeback overtake a newer registration from
@@ -196,22 +197,18 @@ func (sl *l2Slice) serve(m *dvnLoadReq, stamp *memStamp) {
 		if !ok {
 			continue
 		}
-		hops := env.Mesh.Hops(sl.tile, owner)
-		env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-		sl.sys.send(sl.tile, owner, 1, &dvnFwdRead{
+		sl.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, sl.tile, owner, &dvnFwdRead{
 			key: m.key, requestor: m.from, words: words, tIssue: m.tIssue,
 		})
 	}
 	if len(nacked) > 0 {
 		// NACK: the requestor retries the whole remainder (§5.2.4).
-		hops := env.Mesh.Hops(sl.tile, m.from)
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, hops)
-		sl.sys.send(sl.tile, m.from, 1, &dvnNack{key: m.key, from: sl.tile})
+		sl.sys.SendCtl(memsys.ClassOVH, memsys.BOvhNack, sl.tile, m.from,
+			&dvnNack{key: m.key, from: sl.tile})
 	}
 	if len(denied) > 0 {
-		hops := env.Mesh.Hops(sl.tile, m.from)
-		env.Traffic.Ctl(memsys.ClassLD, memsys.BRespCtl, 1, hops)
-		sl.sys.send(sl.tile, m.from, 1, &dvnDeny{key: m.key, words: denied})
+		sl.sys.SendCtl(memsys.ClassLD, memsys.BRespCtl, sl.tile, m.from,
+			&dvnDeny{key: m.key, words: denied})
 	}
 	if len(mem) == 0 {
 		return
@@ -221,14 +218,12 @@ func (sl *l2Slice) serve(m *dvnLoadReq, stamp *memStamp) {
 	for _, words := range mem {
 		memWords = append(memWords, words...)
 	}
-	sortU32(memWords)
+	coher.SortU32(memWords)
 
 	if bypass {
 		// L2 response bypass: fetch straight to the L1, no L2 fill.
 		mc := env.Cfg.MCTile(critLine)
-		hops := env.Mesh.Hops(sl.tile, mc)
-		env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-		sl.sys.send(sl.tile, mc, 1, &dvnMemRead{
+		sl.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, sl.tile, mc, &dvnMemRead{
 			key: m.key, critLine: critLine, wants: memWords,
 			noReturn: sl.dirtyMask(critLine),
 			home:     sl.tile, requestor: m.from,
@@ -238,7 +233,7 @@ func (sl *l2Slice) serve(m *dvnLoadReq, stamp *memStamp) {
 		return
 	}
 
-	if f := sl.fetch[critLine]; f != nil {
+	if f := sl.fetch.Get(critLine); f != nil {
 		// A fetch is already in flight: re-dispatch the remainder after
 		// the fill.
 		rest := *m
@@ -248,7 +243,7 @@ func (sl *l2Slice) serve(m *dvnLoadReq, stamp *memStamp) {
 	}
 
 	f := &l2Fetch{line: critLine}
-	sl.fetch[critLine] = f
+	sl.fetch.Put(critLine, f)
 	if sl.sys.opt.MemToL1 {
 		// §3.1 Memory Controller to L1 Transfer: data goes to the L1 and
 		// the L2 in parallel; the request carries the dirty-word vector.
@@ -264,11 +259,8 @@ func (sl *l2Slice) serve(m *dvnLoadReq, stamp *memStamp) {
 }
 
 func (sl *l2Slice) sendMemRead(m *dvnLoadReq, critLine uint32, wants []uint32, direct bool) {
-	env := sl.env()
-	mc := env.Cfg.MCTile(critLine)
-	hops := env.Mesh.Hops(sl.tile, mc)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-	sl.sys.send(sl.tile, mc, 1, &dvnMemRead{
+	mc := sl.env().Cfg.MCTile(critLine)
+	sl.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, sl.tile, mc, &dvnMemRead{
 		key: m.key, critLine: critLine, wants: wants,
 		noReturn: sl.dirtyMask(critLine),
 		home:     sl.tile, requestor: m.from,
@@ -299,14 +291,13 @@ func (sl *l2Slice) sendFromArray(m *dvnLoadReq, words []uint32, stamp *memStamp)
 		}
 		sl.c.Touch(ln)
 	}
-	hops := env.Mesh.Hops(sl.tile, m.from)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BRespCtl, 1, hops)
+	hops := sl.sys.CtlHops(memsys.ClassLD, memsys.BRespCtl, sl.tile, m.from)
 	d := &dvnData{key: m.key, words: words, vals: vals, minsts: minsts, hops: hops}
 	if stamp != nil {
 		d.fromMem = true
 		d.tAtMC, d.tDram = stamp.tAtMC, stamp.tDram
 	}
-	sl.sys.send(sl.tile, m.from, 1+memsys.DataFlits(len(words)), d)
+	sl.sys.SendData(sl.tile, m.from, len(words), d)
 }
 
 // --- registration (§2) ---
@@ -363,25 +354,22 @@ func (sl *l2Slice) registerInstalled(m *dvnRegister, fresh bool) {
 		if !ok {
 			continue
 		}
-		hops := env.Mesh.Hops(sl.tile, owner)
-		env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-		sl.sys.send(sl.tile, owner, 1, &dvnInvalWord{words: words})
+		sl.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, sl.tile, owner, &dvnInvalWord{words: words})
 	}
 	// Baseline DeNovo keeps a fetch-on-write L2: a write miss fetches the
 	// rest of the line from memory (§3.1).
 	if fresh && !sl.sys.opt.ValidateL2 {
 		sl.fetchForWrite(m.line)
 	}
-	hops := env.Mesh.Hops(sl.tile, m.from)
-	env.Traffic.Ctl(memsys.ClassST, memsys.BRespCtl, 1, hops)
-	sl.sys.send(sl.tile, m.from, 1, &dvnRegAck{line: m.line, mask: m.mask})
+	sl.sys.SendCtl(memsys.ClassST, memsys.BRespCtl, sl.tile, m.from,
+		&dvnRegAck{line: m.line, mask: m.mask})
 	sl.unlockLine(m.line)
 }
 
 // fetchForWrite fills the invalid words of a write-allocated line
 // (fetch-on-write at the L2, baseline DeNovo only).
 func (sl *l2Slice) fetchForWrite(line uint32) {
-	if sl.fetch[line] != nil {
+	if sl.fetch.Has(line) {
 		return
 	}
 	// Nothing to fetch when every word is already registered, dirty or
@@ -397,12 +385,9 @@ func (sl *l2Slice) fetchForWrite(line uint32) {
 	if !need {
 		return
 	}
-	env := sl.env()
-	sl.fetch[line] = &l2Fetch{line: line}
-	mc := env.Cfg.MCTile(line)
-	hops := env.Mesh.Hops(sl.tile, mc)
-	env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-	sl.sys.send(sl.tile, mc, 1, &dvnMemRead{
+	sl.fetch.Put(line, &l2Fetch{line: line})
+	mc := sl.env().Cfg.MCTile(line)
+	sl.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, sl.tile, mc, &dvnMemRead{
 		key: line, critLine: line,
 		noReturn: sl.dirtyMask(line),
 		home:     sl.tile, requestor: -1,
@@ -460,9 +445,7 @@ func (sl *l2Slice) writebackInstalled(m *dvnWB) {
 	if fresh && !sl.sys.opt.ValidateL2 {
 		sl.fetchForWrite(m.line)
 	}
-	hops := env.Mesh.Hops(sl.tile, m.from)
-	env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
-	sl.sys.send(sl.tile, m.from, 1, &dvnWBAck{line: m.line})
+	sl.sys.SendCtl(memsys.ClassWB, memsys.BWBCtl, sl.tile, m.from, &dvnWBAck{line: m.line})
 	sl.unlockLine(m.line)
 }
 
@@ -506,8 +489,8 @@ func (sl *l2Slice) fillInstalled(m *dvnL2Fill) {
 	}
 	env.Traffic.Data(m.class, m.hops, insts)
 
-	f := sl.fetch[m.line]
-	delete(sl.fetch, m.line)
+	f := sl.fetch.Get(m.line)
+	sl.fetch.Delete(m.line)
 	sl.unlockLine(m.line)
 	if f == nil {
 		return
@@ -522,13 +505,12 @@ func (sl *l2Slice) fillInstalled(m *dvnL2Fill) {
 
 // ensureWay guarantees a free way in line's set, then calls cont.
 func (sl *l2Slice) ensureWay(line uint32, cont func()) {
-	env := sl.env()
 	victim := sl.c.VictimWhere(line, func(l *cache.Line) bool {
 		_, gated := sl.gate[l.Tag]
-		return !gated && !sl.busyEvict[l.Tag] && sl.fetch[l.Tag] == nil
+		return !gated && !sl.busyEvict[l.Tag] && !sl.fetch.Has(l.Tag)
 	})
 	if victim == nil {
-		env.K.After(env.Cfg.RetryBackoff, func() { sl.ensureWay(line, cont) })
+		sl.sys.RetryAfter(func() { sl.ensureWay(line, cont) })
 		return
 	}
 	if !victim.Valid {
@@ -567,9 +549,8 @@ func (sl *l2Slice) evictLine(ln *cache.Line, cont func()) {
 		if !ok {
 			continue
 		}
-		hops := env.Mesh.Hops(sl.tile, owner)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
-		sl.sys.send(sl.tile, owner, 1, &dvnRecall{line: line, mask: mask})
+		sl.sys.SendCtl(memsys.ClassWB, memsys.BWBCtl, sl.tile, owner,
+			&dvnRecall{line: line, mask: mask})
 	}
 }
 
@@ -615,16 +596,15 @@ func (sl *l2Slice) finishEvict(ln *cache.Line, cont func()) {
 	if dirty != 0 {
 		msg.mask = dirty
 		mc := env.Cfg.MCTile(line)
-		hops := env.Mesh.Hops(sl.tile, mc)
-		nDirty := popcount(dirty)
+		nDirty := coher.Popcount16(dirty)
 		clean := 0
 		if !sl.sys.opt.ValidateL2 {
 			// Baseline: the full 64B line travels to memory.
 			clean = lineWords - nDirty
 		}
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		hops := sl.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, sl.tile, mc)
 		env.Traffic.WBData(true, hops, nDirty, clean)
-		sl.sys.send(sl.tile, mc, 1+memsys.DataFlits(nDirty+clean), msg)
+		sl.sys.SendData(sl.tile, mc, nDirty+clean, msg)
 	}
 	if sl.dirtyCnt[line] > 0 {
 		delete(sl.dirtyCnt, line)
@@ -648,13 +628,13 @@ func (sl *l2Slice) finishEvict(ln *cache.Line, cont func()) {
 
 func (sl *l2Slice) handleBloomReq(m *dvnBloomReq) {
 	env := sl.env()
-	hops := env.Mesh.Hops(sl.tile, m.from)
+	hops := sl.sys.Hops(sl.tile, m.from)
 	snap := sl.blooms.Snapshot(m.idx)
 	// The snapshot payload is entries/8 bytes (64B for the paper's 512
 	// entries): one control flit plus the data flits it fills.
 	flits := 1 + memsys.DataFlits((snap.SizeBytes()+3)/4)
 	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhBloom, flits, hops)
-	sl.sys.send(sl.tile, m.from, flits, &dvnBloomResp{
+	sl.sys.Send(sl.tile, m.from, flits, &dvnBloomResp{
 		idx: m.idx, slice: sl.tile, snap: snap,
 	})
 }

@@ -2,6 +2,7 @@ package denovo
 
 import (
 	"repro/internal/bloom"
+	"repro/internal/coher"
 	"repro/internal/memsys"
 )
 
@@ -163,4 +164,38 @@ type dvnBloomResp struct {
 	idx   int
 	slice int
 	snap  *bloom.Filter
+}
+
+// --- dispatch (coher.Msg) ---
+//
+// Each message routes itself to the right component of the destination
+// tile; the coher substrate invokes Dispatch on delivery.
+
+func (m *dvnData) Dispatch(s *System, tile int)       { s.l1s[tile].handleData(m) }
+func (m *dvnDeny) Dispatch(s *System, tile int)       { s.l1s[tile].handleDeny(m) }
+func (m *dvnFwdRead) Dispatch(s *System, tile int)    { s.l1s[tile].handleFwdRead(m) }
+func (m *dvnInvalWord) Dispatch(s *System, tile int)  { s.l1s[tile].handleInvalWord(m) }
+func (m *dvnRecall) Dispatch(s *System, tile int)     { s.l1s[tile].handleRecall(m) }
+func (m *dvnRegAck) Dispatch(s *System, tile int)     { s.l1s[tile].handleRegAck(m) }
+func (m *dvnWBAck) Dispatch(s *System, tile int)      { s.l1s[tile].handleWBAck(m) }
+func (m *dvnNack) Dispatch(s *System, tile int)       { s.l1s[tile].handleNack(m) }
+func (m *dvnBloomResp) Dispatch(s *System, tile int)  { s.l1s[tile].handleBloomResp(m) }
+func (m *dvnLoadReq) Dispatch(s *System, tile int)    { s.l2s[tile].handleLoadReq(m) }
+func (m *dvnRegister) Dispatch(s *System, tile int)   { s.l2s[tile].handleRegister(m) }
+func (m *dvnWB) Dispatch(s *System, tile int)         { s.l2s[tile].handleWB(m) }
+func (m *dvnRecallResp) Dispatch(s *System, tile int) { s.l2s[tile].handleRecallResp(m) }
+func (m *dvnL2Fill) Dispatch(s *System, tile int)     { s.l2s[tile].handleL2Fill(m) }
+func (m *dvnBloomReq) Dispatch(s *System, tile int)   { s.l2s[tile].handleBloomReq(m) }
+func (m *dvnMemRead) Dispatch(s *System, tile int)    { s.handleMemRead(tile, m) }
+func (m *msgMemWBPartial) Dispatch(s *System, tile int) {
+	s.handleMemWB(tile, m)
+}
+
+// Compile-time check that the whole vocabulary dispatches.
+var _ = []coher.Msg[*System]{
+	(*dvnLoadReq)(nil), (*dvnRegister)(nil), (*dvnWB)(nil), (*dvnData)(nil),
+	(*dvnDeny)(nil), (*dvnFwdRead)(nil), (*dvnInvalWord)(nil), (*dvnRecall)(nil),
+	(*dvnRecallResp)(nil), (*dvnRegAck)(nil), (*dvnWBAck)(nil), (*dvnNack)(nil),
+	(*dvnL2Fill)(nil), (*dvnBloomReq)(nil), (*dvnBloomResp)(nil),
+	(*dvnMemRead)(nil), (*msgMemWBPartial)(nil),
 }

@@ -16,17 +16,25 @@
 //     (DFlexL2, with conventional line-granularity DRAM: dropped words
 //     are the Excess waste of Figure 5.3c), L2 response bypass (DBypL2)
 //     and Bloom-filter-guarded L2 request bypass (DBypFull, §4.4).
+//
+// Like internal/mesi, the package is a state machine plus a message
+// vocabulary over the internal/coher substrate, which owns transport,
+// dispatch, the pending-transaction tables, the write-combining table
+// bookkeeping and the drain gates.
 package denovo
 
 import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/dram"
 	"repro/internal/memsys"
 )
 
-// Options compose the protocol variants of §3.2.
+// Options compose the protocol variants of §3.2. The fields are the
+// orthogonal optimization knobs the registry in internal/core exposes as
+// composable option tokens.
 type Options struct {
 	Name       string
 	FlexL1     bool // Flex for on-chip responses
@@ -83,9 +91,9 @@ func VariantByName(name string) (Options, bool) {
 	return Options{}, false
 }
 
-// System is a complete DeNovo memory system over a memsys.Env.
+// System is a complete DeNovo memory system over the coher substrate.
 type System struct {
-	env *memsys.Env
+	coher.Substrate
 	opt Options
 	l1s []*l1Cache
 	l2s []*l2Slice
@@ -96,16 +104,15 @@ func New(env *memsys.Env, opt Options) *System {
 	if opt.Name == "" {
 		opt.Name = "DeNovo"
 	}
-	s := &System{env: env, opt: opt}
+	s := &System{Substrate: coher.NewSubstrate(env), opt: opt}
 	n := env.Cfg.Tiles
 	s.l1s = make([]*l1Cache, n)
 	s.l2s = make([]*l2Slice, n)
 	for t := 0; t < n; t++ {
 		s.l1s[t] = newL1(s, t)
 		s.l2s[t] = newL2(s, t)
-		tile := t
-		env.Mesh.Register(tile, func(p any) { s.dispatch(tile, p) })
 	}
+	coher.RegisterTiles(env, s)
 	return s
 }
 
@@ -143,58 +150,10 @@ func (s *System) AtBarrier(written []uint8) {
 	}
 }
 
-func (s *System) dispatch(tile int, p any) {
-	switch m := p.(type) {
-	// L1-bound.
-	case *dvnData:
-		s.l1s[tile].handleData(m)
-	case *dvnDeny:
-		s.l1s[tile].handleDeny(m)
-	case *dvnFwdRead:
-		s.l1s[tile].handleFwdRead(m)
-	case *dvnInvalWord:
-		s.l1s[tile].handleInvalWord(m)
-	case *dvnRecall:
-		s.l1s[tile].handleRecall(m)
-	case *dvnRegAck:
-		s.l1s[tile].handleRegAck(m)
-	case *dvnWBAck:
-		s.l1s[tile].handleWBAck(m)
-	case *dvnNack:
-		s.l1s[tile].handleNack(m)
-	case *dvnBloomResp:
-		s.l1s[tile].handleBloomResp(m)
-	// L2-bound.
-	case *dvnLoadReq:
-		s.l2s[tile].handleLoadReq(m)
-	case *dvnRegister:
-		s.l2s[tile].handleRegister(m)
-	case *dvnWB:
-		s.l2s[tile].handleWB(m)
-	case *dvnRecallResp:
-		s.l2s[tile].handleRecallResp(m)
-	case *dvnL2Fill:
-		s.l2s[tile].handleL2Fill(m)
-	case *dvnBloomReq:
-		s.l2s[tile].handleBloomReq(m)
-	// MC-bound.
-	case *dvnMemRead:
-		s.handleMemRead(tile, m)
-	case *msgMemWBPartial:
-		s.handleMemWB(tile, m)
-	default:
-		panic(fmt.Sprintf("denovo: unknown message %T at tile %d", p, tile))
-	}
-}
-
-func (s *System) send(src, dst, flits int, payload any) int {
-	return s.env.Mesh.Send(src, dst, flits, payload)
-}
-
 // l2HasWord implements the Figure 4.3 "address present in L2?" check.
 func (s *System) l2HasWord(addr uint32) bool {
 	line := memsys.LineOf(addr)
-	sl := s.l2s[s.env.Cfg.HomeTile(line)]
+	sl := s.l2s[s.Env.Cfg.HomeTile(line)]
 	ln := sl.c.Lookup(line)
 	if ln == nil {
 		return false
@@ -214,7 +173,7 @@ type msgMemWBPartial struct {
 // rowOf returns the DRAM row identifier of a line (for the L2 Flex
 // same-row constraint, §3.1).
 func (s *System) rowOf(line uint32) uint32 {
-	return (line << memsys.LineShift) / s.env.Cfg.DRAM.RowBytes
+	return (line << memsys.LineShift) / s.Env.Cfg.DRAM.RowBytes
 }
 
 // handleMemRead services a fetch at an MC tile. It may read several lines
@@ -222,7 +181,7 @@ func (s *System) rowOf(line uint32) uint32 {
 // applies the Flex communication region (dropping unsent words as Excess),
 // and responds to the L1 and/or the home L2.
 func (s *System) handleMemRead(tile int, m *dvnMemRead) {
-	env := s.env
+	env := s.Env
 	ch := env.Chans[env.Cfg.Channel(m.critLine)]
 	tAtMC := env.K.Now()
 
@@ -278,7 +237,7 @@ func (s *System) handleMemRead(tile int, m *dvnMemRead) {
 
 // memReadDone assembles and sends the responses once DRAM delivers.
 func (s *System) memReadDone(tile int, m *dvnMemRead, lines []uint32, wantSet map[uint32]bool, denied []uint32, tAtMC, tDram int64) {
-	env := s.env
+	env := s.Env
 	var words []uint32
 	var vals []uint32
 	var minsts []uint64
@@ -318,30 +277,28 @@ func (s *System) memReadDone(tile int, m *dvnMemRead, lines []uint32, wantSet ma
 	}
 
 	if m.direct {
-		hops := env.Mesh.Hops(tile, m.requestor)
-		env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-		s.send(tile, m.requestor, 1+memsys.DataFlits(len(words)), &dvnData{
+		hops := s.CtlHops(m.class, memsys.BRespCtl, tile, m.requestor)
+		s.SendData(tile, m.requestor, len(words), &dvnData{
 			key: m.key, words: words, vals: vals, minsts: minsts,
 			fromMem: true, tAtMC: tAtMC, tDram: tDram, hops: hops,
 		})
 		if len(denied) > 0 {
 			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-			s.send(tile, m.requestor, 1, &dvnDeny{key: m.key, words: denied})
+			s.Send(tile, m.requestor, 1, &dvnDeny{key: m.key, words: denied})
 		}
 	}
 	for _, fill := range fillOrder {
 		// Even an empty fill must be delivered: the home slice's fetch
 		// entry pins the line until the fill lands.
-		hops := env.Mesh.Hops(tile, m.home)
+		hops := s.CtlHops(m.class, memsys.BRespCtl, tile, m.home)
 		fill.hops = hops
-		env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-		s.send(tile, m.home, 1+memsys.DataFlits(popcount(fill.mask)), fill)
+		s.SendData(tile, m.home, coher.Popcount16(fill.mask), fill)
 	}
 }
 
 // handleMemWB commits dirty words to DRAM.
 func (s *System) handleMemWB(tile int, m *msgMemWBPartial) {
-	env := s.env
+	env := s.Env
 	ch := env.Chans[env.Cfg.Channel(m.line)]
 	env.K.After(env.Cfg.MCLatency, func() {
 		for w := 0; w < lineWords; w++ {
@@ -358,17 +315,17 @@ func (s *System) handleMemWB(tile int, m *msgMemWBPartial) {
 // in-flight transactions remain, and write-combining tables are empty.
 func (s *System) CheckInvariants() error {
 	for t, l1 := range s.l1s {
-		if len(l1.mshrs) != 0 {
-			return fmt.Errorf("denovo: tile %d has %d leftover MSHRs", t, len(l1.mshrs))
+		if l1.mshrs.Len() != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover MSHRs", t, l1.mshrs.Len())
 		}
-		if len(l1.wc) != 0 {
-			return fmt.Errorf("denovo: tile %d has %d leftover WC entries", t, len(l1.wc))
+		if l1.wc.Len() != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover WC entries", t, l1.wc.Len())
 		}
 		if l1.pendingRegs != 0 {
 			return fmt.Errorf("denovo: tile %d has %d unacked registrations", t, l1.pendingRegs)
 		}
-		if len(l1.wbBuf) != 0 {
-			return fmt.Errorf("denovo: tile %d has %d leftover victim buffers", t, len(l1.wbBuf))
+		if l1.wbBuf.Len() != 0 {
+			return fmt.Errorf("denovo: tile %d has %d leftover victim buffers", t, l1.wbBuf.Len())
 		}
 	}
 	var err error
@@ -399,12 +356,4 @@ func (s *System) CheckInvariants() error {
 		})
 	}
 	return err
-}
-
-func popcount(m uint16) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
 }

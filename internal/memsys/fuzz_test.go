@@ -1,0 +1,84 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearByAddr is the reference implementation of RegionTable.ByAddr: an
+// O(n) scan over the (non-overlapping) regions.
+func linearByAddr(regions []Region, addr uint32) *Region {
+	for i := range regions {
+		if regions[i].Contains(addr) {
+			return &regions[i]
+		}
+	}
+	return nil
+}
+
+// FuzzRegionTableByAddr fuzzes the binary search every Flex/bypass lookup
+// depends on: for an arbitrary set of random non-overlapping regions
+// (adjacent, gapped, zero-gap, high-address), ByAddr must agree with the
+// linear scan at region starts, ends, interior words, gap words and the
+// fuzzed probe address. The checked-in corpus under testdata/fuzz seeds
+// the edge shapes (empty table, single region, adjacent regions, probes
+// beyond the last region, address-space ceiling).
+func FuzzRegionTableByAddr(f *testing.F) {
+	f.Add(int64(1), 0, uint32(0))           // empty table
+	f.Add(int64(2), 1, uint32(64))          // single region
+	f.Add(int64(3), 8, uint32(0x1000))      // several regions, mid probe
+	f.Add(int64(4), 16, uint32(0xffffffff)) // probe at the address ceiling
+	f.Add(int64(-5), 3, uint32(4))          // negative seed, low probe
+	f.Fuzz(func(t *testing.T, seed int64, nRegions int, probe uint32) {
+		n := nRegions % 32
+		if n < 0 {
+			n = -n
+		}
+		rng := rand.New(rand.NewSource(seed))
+		regions := make([]Region, 0, n)
+		base := uint32(rng.Intn(1024)) * WordBytes
+		for i := 0; i < n; i++ {
+			size := uint32(rng.Intn(256)+1) * WordBytes
+			if base+size < base {
+				break // address space exhausted
+			}
+			regions = append(regions, Region{ID: uint8(i + 1), Name: "r", Base: base, Size: size})
+			gap := uint32(rng.Intn(3)) * uint32(rng.Intn(128)) * WordBytes // often zero: adjacent regions
+			next := base + size + gap
+			if next < base {
+				break
+			}
+			base = next
+		}
+		// Shuffle construction order: NewRegionTable must sort.
+		rng.Shuffle(len(regions), func(i, j int) { regions[i], regions[j] = regions[j], regions[i] })
+		tab, err := NewRegionTable(regions)
+		if err != nil {
+			t.Fatalf("non-overlapping regions rejected: %v", err)
+		}
+
+		sorted := tab.All()
+		check := func(addr uint32) {
+			got := tab.ByAddr(addr)
+			want := linearByAddr(sorted, addr)
+			switch {
+			case (got == nil) != (want == nil):
+				t.Fatalf("ByAddr(%#x) = %v, linear scan = %v", addr, got, want)
+			case got != nil && got.ID != want.ID:
+				t.Fatalf("ByAddr(%#x) = region %d, linear scan = region %d", addr, got.ID, want.ID)
+			}
+		}
+		check(probe)
+		check(WordAddr(probe))
+		for i := range sorted {
+			r := &sorted[i]
+			check(r.Base)
+			check(r.Base + r.Size - 1)
+			check(r.Base + r.Size) // first word past the region (gap or neighbor)
+			check(r.Base + (r.Size/2)&^3)
+			if r.Base > 0 {
+				check(r.Base - 1)
+			}
+		}
+	})
+}

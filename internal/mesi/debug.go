@@ -12,17 +12,18 @@ import (
 func (s *System) DebugState() string {
 	var b strings.Builder
 	for t, l1 := range s.l1s {
-		if len(l1.mshrs) == 0 && len(l1.wbBuf) == 0 && len(l1.sb) == 0 {
+		if l1.mshrs.Len() == 0 && l1.wbBuf.Len() == 0 && l1.sb.Empty() {
 			continue
 		}
-		fmt.Fprintf(&b, "L1[%d]: sb=%d storeTxns=%d drainPending=%v\n", t, len(l1.sb), l1.storeTxns, l1.drainDone != nil)
-		for line, m := range l1.mshrs {
+		fmt.Fprintf(&b, "L1[%d]: sb=%d storeTxns=%d drainPending=%v\n",
+			t, l1.sb.Len(), l1.storeTxns, l1.drainGate.Armed())
+		l1.mshrs.Range(func(line uint32, m *mshr) {
 			fmt.Fprintf(&b, "  mshr %#x store=%v upg=%v dataArrived=%v acks=%d/%d waiters=%d\n",
 				line, m.isStore, m.upgrade, m.dataArrived, m.gotAcks, m.needAcks, len(m.loadWaiters))
-		}
-		for line, wb := range l1.wbBuf {
+		})
+		l1.wbBuf.Range(func(line uint32, wb *wbEntry) {
 			fmt.Fprintf(&b, "  wbBuf %#x dirty=%v aborted=%v\n", line, wb.dirty, wb.aborted)
-		}
+		})
 	}
 	for t, sl := range s.l2s {
 		for line, e := range sl.dir {
@@ -38,7 +39,7 @@ func (s *System) DebugState() string {
 // DumpWord renders the coherence state of one word across the system,
 // used to diagnose functional (oracle) failures.
 func (s *System) DumpWord(addr uint32) string {
-	env := s.env
+	env := s.Env
 	line := memsys.LineOf(addr)
 	w := memsys.WordIndex(addr)
 	var b strings.Builder
@@ -56,12 +57,12 @@ func (s *System) DumpWord(addr uint32) string {
 		if ln := l1.c.Lookup(line); ln != nil {
 			fmt.Fprintf(&b, "  L1[%d]: state=%d val=%d dirty=%v\n", t, ln.State, ln.Data[w], ln.WState[w]&wDirty != 0)
 		}
-		if wb := l1.wbBuf[line]; wb != nil {
+		if wb := l1.wbBuf.Get(line); wb != nil {
 			fmt.Fprintf(&b, "  L1[%d] wbBuf: dirty=%v aborted=%v val=%d\n", t, wb.dirty, wb.aborted, wb.data[w])
 		}
-		for _, e := range l1.sb {
-			if e.addr == addr {
-				fmt.Fprintf(&b, "  L1[%d] sb: val=%d\n", t, e.val)
+		for _, e := range l1.sb.Entries() {
+			if e.Addr == addr {
+				fmt.Fprintf(&b, "  L1[%d] sb: val=%d\n", t, e.Val)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/memsys"
 )
 
@@ -52,38 +53,33 @@ type wbEntry struct {
 	minst   [lineWords]uint64
 }
 
-// sbEntry is one pending non-blocking write.
-type sbEntry struct {
-	addr uint32
-	val  uint32
-}
-
 type l1Cache struct {
 	sys  *System
 	tile int
 	c    *cache.Cache
 
-	mshrs map[uint32]*mshr
-	wbBuf map[uint32]*wbEntry
+	mshrs coher.Table[mshr]
+	wbBuf coher.Table[wbEntry]
 
-	sb           []sbEntry
+	sb           coher.StoreBuffer
 	storeTxns    int
 	storeUnstall func()
-	drainDone    func()
+	drainGate    coher.DrainGate
 }
 
 func newL1(s *System, tile int) *l1Cache {
-	cfg := s.env.Cfg
+	cfg := s.Env.Cfg
 	return &l1Cache{
 		sys:   s,
 		tile:  tile,
 		c:     cache.New(cfg.L1Bytes, cfg.L1Assoc, memsys.LineBytes),
-		mshrs: make(map[uint32]*mshr),
-		wbBuf: make(map[uint32]*wbEntry),
+		mshrs: coher.NewTable[mshr](),
+		wbBuf: coher.NewTable[wbEntry](),
+		sb:    coher.NewStoreBuffer(cfg.StoreBufferEntries),
 	}
 }
 
-func (l *l1Cache) env() *memsys.Env { return l.sys.env }
+func (l *l1Cache) env() *memsys.Env { return l.sys.Env }
 
 // --- core-facing operations ---
 
@@ -96,11 +92,9 @@ func (l *l1Cache) load(addr uint32, done func(uint32, memsys.Sample)) {
 func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsys.Sample)) {
 	env := l.env()
 	// Store-buffer forwarding: the newest pending write to this word wins.
-	for i := len(l.sb) - 1; i >= 0; i-- {
-		if l.sb[i].addr == addr {
-			done(l.sb[i].val, memsys.Sample{Point: memsys.PointL1})
-			return
-		}
+	if val, ok := l.sb.Forward(addr); ok {
+		done(val, memsys.Sample{Point: memsys.PointL1})
+		return
 	}
 	line, w := memsys.LineOf(addr), memsys.WordIndex(addr)
 	if ln := l.c.Lookup(line); ln != nil {
@@ -112,34 +106,30 @@ func (l *l1Cache) loadAttempt(addr uint32, tIssue int64, done func(uint32, memsy
 	}
 	// A line being written back cannot be re-read until the writeback is
 	// acknowledged; retry shortly.
-	if _, busy := l.wbBuf[line]; busy {
-		env.K.After(env.Cfg.RetryBackoff, func() { l.loadAttempt(addr, tIssue, done) })
+	if l.wbBuf.Has(line) {
+		l.sys.RetryAfter(func() { l.loadAttempt(addr, tIssue, done) })
 		return
 	}
-	if m, ok := l.mshrs[line]; ok {
+	if m := l.mshrs.Get(line); m != nil {
 		m.loadWaiters = append(m.loadWaiters, loadWaiter{w, done})
 		return
 	}
 	m := &mshr{line: line, tIssue: tIssue}
 	m.loadWaiters = append(m.loadWaiters, loadWaiter{w, done})
-	l.mshrs[line] = m
+	l.mshrs.Put(line, m)
 	l.sendGetS(m)
 }
 
 func (l *l1Cache) sendGetS(m *mshr) {
-	env := l.env()
-	home := env.Cfg.HomeTile(m.line)
-	hops := env.Mesh.Hops(l.tile, home)
-	env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-	l.sys.send(l.tile, home, 1, &msgGetS{line: m.line, from: l.tile})
+	home := l.env().Cfg.HomeTile(m.line)
+	l.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, l.tile, home, &msgGetS{line: m.line, from: l.tile})
 }
 
 // storePush enqueues a non-blocking write; false when the buffer is full.
 func (l *l1Cache) storePush(addr, val uint32) bool {
-	if len(l.sb) >= l.env().Cfg.StoreBufferEntries {
+	if !l.sb.Push(addr, val) {
 		return false
 	}
-	l.sb = append(l.sb, sbEntry{addr, val})
 	l.pumpStores()
 	return true
 }
@@ -149,21 +139,23 @@ func (l *l1Cache) storePush(addr, val uint32) bool {
 func (l *l1Cache) pumpStores() {
 	env := l.env()
 	seen := map[uint32]bool{}
-	for i := 0; i < len(l.sb); i++ {
-		line := memsys.LineOf(l.sb[i].addr)
+	entries := l.sb.Entries()
+	for i := 0; i < len(entries); i++ {
+		line := memsys.LineOf(entries[i].Addr)
 		if seen[line] {
 			continue
 		}
 		seen[line] = true
-		if _, ok := l.mshrs[line]; ok {
+		if l.mshrs.Has(line) {
 			continue // a transaction for this line is already in flight
 		}
-		if _, busy := l.wbBuf[line]; busy {
+		if l.wbBuf.Has(line) {
 			continue // wait for the writeback ack, then retry
 		}
 		if ln := l.c.Lookup(line); ln != nil && (ln.State == stM || ln.State == stE) {
 			l.applyStores(ln)
 			i = -1 // sb mutated; restart scan
+			entries = l.sb.Entries()
 			seen = map[uint32]bool{}
 			continue
 		}
@@ -172,29 +164,22 @@ func (l *l1Cache) pumpStores() {
 		}
 		l.storeTxns++
 		m := &mshr{line: line, isStore: true, tIssue: env.K.Now()}
-		l.mshrs[line] = m
+		l.mshrs.Put(line, m)
 		if ln := l.c.Lookup(line); ln != nil && ln.State == stS {
 			m.upgrade = true
 			home := env.Cfg.HomeTile(line)
-			hops := env.Mesh.Hops(l.tile, home)
-			env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-			l.sys.send(l.tile, home, 1, &msgUpgrade{line: line, from: l.tile})
+			l.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, l.tile, home, &msgUpgrade{line: line, from: l.tile})
 		} else {
 			l.sendGetX(m)
 		}
 	}
-	if l.drainDone != nil {
-		l.checkDrained()
-	}
+	l.drainGate.TryFire(l.drained())
 }
 
 func (l *l1Cache) sendGetX(m *mshr) {
-	env := l.env()
 	m.upgrade = false
-	home := env.Cfg.HomeTile(m.line)
-	hops := env.Mesh.Hops(l.tile, home)
-	env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-	l.sys.send(l.tile, home, 1, &msgGetX{line: m.line, from: l.tile})
+	home := l.env().Cfg.HomeTile(m.line)
+	l.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, l.tile, home, &msgGetX{line: m.line, from: l.tile})
 }
 
 // applyStores retires every buffered write targeting a line the core now
@@ -202,23 +187,17 @@ func (l *l1Cache) sendGetX(m *mshr) {
 func (l *l1Cache) applyStores(ln *cache.Line) {
 	env := l.env()
 	ln.State = stM
-	kept := l.sb[:0]
-	for _, e := range l.sb {
-		if memsys.LineOf(e.addr) != ln.Tag {
-			kept = append(kept, e)
-			continue
-		}
-		w := memsys.WordIndex(e.addr)
+	l.sb.RetireLine(ln.Tag, memsys.LineOf, func(addr, val uint32) {
+		w := memsys.WordIndex(addr)
 		env.Prof.L1Store(ln.Inst[w])
-		env.Prof.MemStore(e.addr)
+		env.Prof.MemStore(addr)
 		if ln.MInst[w] != 0 {
 			env.Prof.MemRelease(ln.MInst[w], false)
 			ln.MInst[w] = 0
 		}
-		ln.Data[w] = e.val
+		ln.Data[w] = val
 		ln.WState[w] |= wDirty
-	}
-	l.sb = kept
+	})
 	l.c.Touch(ln)
 	if l.storeUnstall != nil {
 		// Deferred: the driver's retry re-enters Store, which must not
@@ -226,30 +205,22 @@ func (l *l1Cache) applyStores(ln *cache.Line) {
 		fn := l.storeUnstall
 		env.K.After(0, fn)
 	}
-	if l.drainDone != nil {
-		l.checkDrained()
-	}
+	l.drainGate.TryFire(l.drained())
 }
 
 // drain registers a barrier-drain continuation: it fires once the store
 // buffer is empty and no store transactions remain.
 func (l *l1Cache) drain(done func()) {
-	l.drainDone = done
-	l.checkDrained()
+	l.drainGate.Arm(done)
+	l.drainGate.TryFire(l.drained())
 }
 
-func (l *l1Cache) checkDrained() {
-	if len(l.sb) == 0 && l.storeTxns == 0 && l.drainDone != nil {
-		d := l.drainDone
-		l.drainDone = nil
-		d()
-	}
-}
+func (l *l1Cache) drained() bool { return l.sb.Empty() && l.storeTxns == 0 }
 
 // --- protocol message handlers ---
 
 func (l *l1Cache) handleData(m *msgData) {
-	ms := l.mshrs[m.line]
+	ms := l.mshrs.Get(m.line)
 	if ms == nil {
 		panic(fmt.Sprintf("mesi: tile %d data without mshr line %#x", l.tile, m.line))
 	}
@@ -266,7 +237,7 @@ func (l *l1Cache) handleData(m *msgData) {
 }
 
 func (l *l1Cache) handleUpgAck(m *msgUpgAck) {
-	ms := l.mshrs[m.line]
+	ms := l.mshrs.Get(m.line)
 	if ms == nil {
 		panic("mesi: upgrade ack without mshr")
 	}
@@ -279,7 +250,7 @@ func (l *l1Cache) handleUpgAck(m *msgUpgAck) {
 }
 
 func (l *l1Cache) handleInvAck(m *msgInvAck) {
-	ms := l.mshrs[m.line]
+	ms := l.mshrs.Get(m.line)
 	if ms == nil {
 		panic("mesi: inv ack without mshr")
 	}
@@ -296,10 +267,10 @@ func (l *l1Cache) tryCompleteFill(ms *mshr) {
 	if !ms.upgrade && !l.canAllocate(ms.line) {
 		// Every way is held by an in-flight upgrade; retry the fill once
 		// those transactions finish.
-		env.K.After(env.Cfg.RetryBackoff, func() { l.tryCompleteFill(ms) })
+		l.sys.RetryAfter(func() { l.tryCompleteFill(ms) })
 		return
 	}
-	delete(l.mshrs, ms.line)
+	l.mshrs.Delete(ms.line)
 
 	var ln *cache.Line
 	if ms.upgrade {
@@ -329,16 +300,14 @@ func (l *l1Cache) tryCompleteFill(ms *mshr) {
 	// Directory unblock. MMemL1 load fills from memory carry the data to
 	// the L2 (unblock+data, profiled as load traffic).
 	home := env.Cfg.HomeTile(ms.line)
-	hops := env.Mesh.Hops(l.tile, home)
 	if l.sys.opt.MemToL1 && ms.fromMem && !ms.isStore {
-		env.Traffic.Ctl(memsys.ClassLD, memsys.BRespCtl, 1, hops)
-		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), &msgUnblock{
+		hops := l.sys.CtlHops(memsys.ClassLD, memsys.BRespCtl, l.tile, home)
+		l.sys.SendData(l.tile, home, lineWords, &msgUnblock{
 			line: ms.line, from: l.tile, withData: true,
 			data: ms.data, minst: ms.minst, hops: hops,
 		})
 	} else {
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhUnblock, 1, hops)
-		l.sys.send(l.tile, home, 1, &msgUnblock{line: ms.line, from: l.tile})
+		l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhUnblock, l.tile, home, &msgUnblock{line: ms.line, from: l.tile})
 	}
 
 	sample := memsys.Sample{Point: memsys.PointOnChip}
@@ -365,28 +334,26 @@ func (l *l1Cache) tryCompleteFill(ms *mshr) {
 func (l *l1Cache) handleNack(m *msgNack) {
 	env := l.env()
 	if m.isPut {
-		wb := l.wbBuf[m.line]
+		wb := l.wbBuf.Get(m.line)
 		if wb == nil {
 			return
 		}
 		if wb.aborted {
 			// Ownership moved while the put was in flight; nothing to
 			// retry and no ack will come for the stale put.
-			delete(l.wbBuf, m.line)
+			l.wbBuf.Delete(m.line)
 			l.pumpStores()
 			return
 		}
-		env.K.After(env.Cfg.RetryBackoff, func() { l.sendPut(wb) })
+		l.sys.RetryAfter(func() { l.sendPut(wb) })
 		return
 	}
-	ms := l.mshrs[m.line]
+	ms := l.mshrs.Get(m.line)
 	if ms == nil {
 		return // transaction already satisfied (stale NACK)
 	}
-	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, env.Mesh.Hops(m.from, l.tile))
-	backoff := env.Cfg.RetryBackoff + int64(l.tile)
-	env.K.After(backoff, func() {
-		if l.mshrs[m.line] != ms {
+	l.sys.NackBackoff(m.from, l.tile, func() {
+		if l.mshrs.Get(m.line) != ms {
 			return
 		}
 		if !ms.isStore {
@@ -398,9 +365,7 @@ func (l *l1Cache) handleNack(m *msgNack) {
 		if ms.upgrade {
 			if ln := l.c.Lookup(m.line); ln != nil && ln.State == stS {
 				home := env.Cfg.HomeTile(m.line)
-				hops := env.Mesh.Hops(l.tile, home)
-				env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-				l.sys.send(l.tile, home, 1, &msgUpgrade{line: m.line, from: l.tile})
+				l.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, l.tile, home, &msgUpgrade{line: m.line, from: l.tile})
 				return
 			}
 		}
@@ -412,22 +377,15 @@ func (l *l1Cache) handleNack(m *msgNack) {
 func (l *l1Cache) handleInv(m *msgInv) {
 	env := l.env()
 	if ln := l.c.Lookup(m.line); ln != nil {
-		for w := 0; w < lineWords; w++ {
-			env.Prof.L1Invalidate(ln.Inst[w])
-			if ln.MInst[w] != 0 {
-				env.Prof.MemRelease(ln.MInst[w], true)
-			}
-		}
+		coher.ReleaseL1Line(env, ln, false, true)
 		l.c.Remove(ln)
 	}
-	hops := env.Mesh.Hops(l.tile, m.ackTo)
-	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhAck, 1, hops)
 	if m.toL2 {
 		// L2-eviction invalidation: acknowledge the home slice.
-		l.sys.send(l.tile, m.ackTo, 1, &msgRecallResp{line: m.line, from: l.tile})
+		l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhAck, l.tile, m.ackTo, &msgRecallResp{line: m.line, from: l.tile})
 		return
 	}
-	l.sys.send(l.tile, m.ackTo, 1, &msgInvAck{line: m.line, from: l.tile})
+	l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhAck, l.tile, m.ackTo, &msgInvAck{line: m.line, from: l.tile})
 }
 
 // handleFwd services a forwarded GetS/GetX as the owner.
@@ -441,8 +399,8 @@ func (l *l1Cache) handleFwd(m *msgFwd) {
 	var minst [lineWords]uint64
 	var wmask uint16
 	if ln := l.c.Lookup(m.line); ln != nil {
-		data, wmask = lineSnapshot(ln)
-		minst = instSnapshot(ln)
+		data, wmask = coher.SnapshotData(ln), coher.DirtyMask(ln, wDirty)
+		minst = coher.SnapshotMInst(ln)
 		if m.excl {
 			// Ownership transfer: local copy conceptually moves.
 			for w := 0; w < lineWords; w++ {
@@ -452,7 +410,7 @@ func (l *l1Cache) handleFwd(m *msgFwd) {
 		} else {
 			ln.State = stS
 		}
-	} else if wb := l.wbBuf[m.line]; wb != nil {
+	} else if wb := l.wbBuf.Get(m.line); wb != nil {
 		data, wmask, minst = wb.data, wb.wmask, wb.minst
 		if m.excl {
 			wb.aborted = true // ownership moved; the retried Put is stale
@@ -463,24 +421,22 @@ func (l *l1Cache) handleFwd(m *msgFwd) {
 		panic(fmt.Sprintf("mesi: tile %d forwarded for line %#x it does not hold", l.tile, m.line))
 	}
 
-	hops := env.Mesh.Hops(l.tile, m.requestor)
-	env.Traffic.Ctl(class, memsys.BRespCtl, 1, hops)
+	hops := l.sys.CtlHops(class, memsys.BRespCtl, l.tile, m.requestor)
 	st := stS
 	if m.excl {
 		st = stM
 	}
-	l.sys.send(l.tile, m.requestor, 1+memsys.DataFlits(lineWords), &msgData{
+	l.sys.SendData(l.tile, m.requestor, lineWords, &msgData{
 		line: m.line, state: st, data: data, minst: minst,
 		transfer: m.excl, tIssue: m.tIssue, hops: hops, class: class,
 	})
 	if !m.excl {
 		// Downgrade writeback carries the (possibly dirty) data to the L2.
 		home := env.Cfg.HomeTile(m.line)
-		h2 := env.Mesh.Hops(l.tile, home)
-		dirty := popcount(wmask)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, h2)
+		dirty := coher.Popcount16(wmask)
+		h2 := l.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, l.tile, home)
 		env.Traffic.WBData(false, h2, dirty, lineWords-dirty)
-		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), &msgDowngradeWB{
+		l.sys.SendData(l.tile, home, lineWords, &msgDowngradeWB{
 			line: m.line, from: l.tile, data: data, wmask: wmask,
 		})
 	}
@@ -493,16 +449,11 @@ func (l *l1Cache) handleRecall(m *msgRecall) {
 	if ln := l.c.Lookup(m.line); ln != nil {
 		if ln.State == stM {
 			resp.hasData = true
-			resp.data, resp.wmask = lineSnapshot(ln)
+			resp.data, resp.wmask = coher.SnapshotData(ln), coher.DirtyMask(ln, wDirty)
 		}
-		for w := 0; w < lineWords; w++ {
-			env.Prof.L1Invalidate(ln.Inst[w])
-			if ln.MInst[w] != 0 {
-				env.Prof.MemRelease(ln.MInst[w], true)
-			}
-		}
+		coher.ReleaseL1Line(env, ln, false, true)
 		l.c.Remove(ln)
-	} else if wb := l.wbBuf[m.line]; wb != nil {
+	} else if wb := l.wbBuf.Get(m.line); wb != nil {
 		if wb.dirty {
 			resp.hasData = true
 			resp.data, resp.wmask = wb.data, wb.wmask
@@ -510,20 +461,18 @@ func (l *l1Cache) handleRecall(m *msgRecall) {
 		wb.aborted = true
 	}
 	home := env.Cfg.HomeTile(m.line)
-	hops := env.Mesh.Hops(l.tile, home)
 	if resp.hasData {
-		dirty := popcount(resp.wmask)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		dirty := coher.Popcount16(resp.wmask)
+		hops := l.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, l.tile, home)
 		env.Traffic.WBData(false, hops, dirty, lineWords-dirty)
-		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), resp)
+		l.sys.SendData(l.tile, home, lineWords, resp)
 	} else {
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhAck, 1, hops)
-		l.sys.send(l.tile, home, 1, resp)
+		l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhAck, l.tile, home, resp)
 	}
 }
 
 func (l *l1Cache) handleWBAck(m *msgWBAck) {
-	delete(l.wbBuf, m.line)
+	l.wbBuf.Delete(m.line)
 	l.pumpStores() // lines blocked on the victim buffer can proceed now
 }
 
@@ -533,7 +482,7 @@ func (l *l1Cache) handleWBAck(m *msgWBAck) {
 // is not pinned by an in-flight upgrade transaction.
 func (l *l1Cache) canAllocate(line uint32) bool {
 	return l.c.VictimWhere(line, func(v *cache.Line) bool {
-		return l.mshrs[v.Tag] == nil
+		return l.mshrs.Get(v.Tag) == nil
 	}) != nil
 }
 
@@ -543,21 +492,16 @@ func (l *l1Cache) canAllocate(line uint32) bool {
 func (l *l1Cache) allocate(line uint32) *cache.Line {
 	env := l.env()
 	victim := l.c.VictimWhere(line, func(v *cache.Line) bool {
-		return l.mshrs[v.Tag] == nil
+		return l.mshrs.Get(v.Tag) == nil
 	})
 	if victim.Valid {
 		vline := victim.Tag
 		wb := &wbEntry{line: vline, dirty: victim.State == stM}
-		wb.data, wb.wmask = lineSnapshot(victim)
-		wb.minst = instSnapshot(victim)
-		for w := 0; w < lineWords; w++ {
-			env.Prof.L1Evict(victim.Inst[w])
-			if victim.MInst[w] != 0 {
-				env.Prof.MemRelease(victim.MInst[w], false)
-			}
-		}
+		wb.data, wb.wmask = coher.SnapshotData(victim), coher.DirtyMask(victim, wDirty)
+		wb.minst = coher.SnapshotMInst(victim)
+		coher.ReleaseL1Line(env, victim, true, false)
 		l.c.Remove(victim)
-		l.wbBuf[vline] = wb
+		l.wbBuf.Put(vline, wb)
 		l.sendPut(wb)
 	}
 	return l.c.Allocate(line)
@@ -565,49 +509,20 @@ func (l *l1Cache) allocate(line uint32) *cache.Line {
 
 func (l *l1Cache) sendPut(wb *wbEntry) {
 	if wb.aborted {
-		delete(l.wbBuf, wb.line)
+		l.wbBuf.Delete(wb.line)
 		return
 	}
 	env := l.env()
 	home := env.Cfg.HomeTile(wb.line)
-	hops := env.Mesh.Hops(l.tile, home)
 	msg := &msgPut{line: wb.line, from: l.tile, dirty: wb.dirty}
 	if wb.dirty {
 		msg.data, msg.wmask, msg.minst = wb.data, wb.wmask, wb.minst
-		dirty := popcount(wb.wmask)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		dirty := coher.Popcount16(wb.wmask)
+		hops := l.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, l.tile, home)
 		env.Traffic.WBData(false, hops, dirty, lineWords-dirty)
-		l.sys.send(l.tile, home, 1+memsys.DataFlits(lineWords), msg)
+		l.sys.SendData(l.tile, home, lineWords, msg)
 	} else {
 		// Clean replacement notice: pure protocol overhead (§5.2.4).
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhWBCtl, 1, hops)
-		l.sys.send(l.tile, home, 1, msg)
+		l.sys.SendCtl(memsys.ClassOVH, memsys.BOvhWBCtl, l.tile, home, msg)
 	}
-}
-
-// --- helpers ---
-
-func lineSnapshot(ln *cache.Line) (data [lineWords]uint32, wmask uint16) {
-	for w := 0; w < lineWords; w++ {
-		data[w] = ln.Data[w]
-		if ln.WState[w]&wDirty != 0 {
-			wmask |= 1 << w
-		}
-	}
-	return
-}
-
-func instSnapshot(ln *cache.Line) (minst [lineWords]uint64) {
-	for w := 0; w < lineWords; w++ {
-		minst[w] = ln.MInst[w]
-	}
-	return
-}
-
-func popcount(m uint16) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
 }

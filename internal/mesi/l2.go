@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/memsys"
 )
 
@@ -50,7 +51,7 @@ type l2Slice struct {
 }
 
 func newL2(s *System, tile int) *l2Slice {
-	cfg := s.env.Cfg
+	cfg := s.Env.Cfg
 	return &l2Slice{
 		sys:  s,
 		tile: tile,
@@ -59,7 +60,7 @@ func newL2(s *System, tile int) *l2Slice {
 	}
 }
 
-func (sl *l2Slice) env() *memsys.Env { return sl.sys.env }
+func (sl *l2Slice) env() *memsys.Env { return sl.sys.Env }
 
 func (sl *l2Slice) entry(line uint32) *dirEntry {
 	e := sl.dir[line]
@@ -71,10 +72,8 @@ func (sl *l2Slice) entry(line uint32) *dirEntry {
 }
 
 func (sl *l2Slice) nack(line uint32, to int, isStore, isPut bool) {
-	env := sl.env()
-	hops := env.Mesh.Hops(sl.tile, to)
-	env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhNack, 1, hops)
-	sl.sys.send(sl.tile, to, 1, &msgNack{line: line, from: sl.tile, isStore: isStore, isPut: isPut})
+	sl.sys.SendCtl(memsys.ClassOVH, memsys.BOvhNack, sl.tile, to,
+		&msgNack{line: line, from: sl.tile, isStore: isStore, isPut: isPut})
 }
 
 // --- request handlers ---
@@ -94,9 +93,8 @@ func (sl *l2Slice) handleGetS(m *msgGetS) {
 		case e.owner >= 0:
 			e.busy = &txn{kind: txFwd, requestor: m.from, class: memsys.ClassLD,
 				needUnblock: true, needDowngrade: true}
-			hops := env.Mesh.Hops(sl.tile, int(e.owner))
-			env.Traffic.Ctl(memsys.ClassLD, memsys.BReqCtl, 1, hops)
-			sl.sys.send(sl.tile, int(e.owner), 1, &msgFwd{line: m.line, requestor: m.from})
+			sl.sys.SendCtl(memsys.ClassLD, memsys.BReqCtl, sl.tile, int(e.owner),
+				&msgFwd{line: m.line, requestor: m.from})
 		default:
 			grant := stS
 			if e.sharers == 0 {
@@ -125,13 +123,12 @@ func (sl *l2Slice) handleGetX(m *msgGetX) {
 		case e.owner >= 0:
 			e.busy = &txn{kind: txFwd, requestor: m.from, class: memsys.ClassST,
 				isStore: true, needUnblock: true}
-			hops := env.Mesh.Hops(sl.tile, int(e.owner))
-			env.Traffic.Ctl(memsys.ClassST, memsys.BReqCtl, 1, hops)
-			sl.sys.send(sl.tile, int(e.owner), 1, &msgFwd{line: m.line, requestor: m.from, excl: true})
+			sl.sys.SendCtl(memsys.ClassST, memsys.BReqCtl, sl.tile, int(e.owner),
+				&msgFwd{line: m.line, requestor: m.from, excl: true})
 			e.owner = int8(m.from)
 		default:
 			others := e.sharers &^ (1 << m.from)
-			acks := popcount(others)
+			acks := coher.Popcount16(others)
 			sl.sendInvs(m.line, others, m.from, false)
 			e.sharers = 0
 			e.owner = int8(m.from)
@@ -151,15 +148,14 @@ func (sl *l2Slice) handleUpgrade(m *msgUpgrade) {
 			return
 		}
 		others := e.sharers &^ (1 << m.from)
-		acks := popcount(others)
+		acks := coher.Popcount16(others)
 		sl.sendInvs(m.line, others, m.from, false)
 		e.sharers = 0
 		e.owner = int8(m.from)
 		e.busy = &txn{kind: txHit, requestor: m.from, class: memsys.ClassST,
 			isStore: true, needUnblock: true}
-		hops := env.Mesh.Hops(sl.tile, m.from)
-		env.Traffic.Ctl(memsys.ClassST, memsys.BRespCtl, 1, hops)
-		sl.sys.send(sl.tile, m.from, 1, &msgUpgAck{line: m.line, acks: acks})
+		sl.sys.SendCtl(memsys.ClassST, memsys.BRespCtl, sl.tile, m.from,
+			&msgUpgAck{line: m.line, acks: acks})
 		if ln := sl.c.Lookup(m.line); ln != nil {
 			sl.c.Touch(ln)
 		}
@@ -179,9 +175,8 @@ func (sl *l2Slice) serveFromL2(ln *cache.Line, e *dirEntry, to int, class memsys
 		env.Prof.L2Served(ln.Inst[w])
 	}
 	sl.c.Touch(ln)
-	hops := env.Mesh.Hops(sl.tile, to)
-	env.Traffic.Ctl(class, memsys.BRespCtl, 1, hops)
-	sl.sys.send(sl.tile, to, 1+memsys.DataFlits(lineWords), &msgData{
+	hops := sl.sys.CtlHops(class, memsys.BRespCtl, sl.tile, to)
+	sl.sys.SendData(sl.tile, to, lineWords, &msgData{
 		line: ln.Tag, state: grant, acks: acks, data: data, minst: minst,
 		hops: hops, class: class,
 	})
@@ -193,9 +188,8 @@ func (sl *l2Slice) sendInvs(line uint32, sharers uint16, ackTo int, toL2 bool) {
 		if sharers&(1<<t) == 0 {
 			continue
 		}
-		hops := env.Mesh.Hops(sl.tile, t)
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhInval, 1, hops)
-		sl.sys.send(sl.tile, t, 1, &msgInv{line: line, ackTo: ackTo, toL2: toL2})
+		sl.sys.SendCtl(memsys.ClassOVH, memsys.BOvhInval, sl.tile, t,
+			&msgInv{line: line, ackTo: ackTo, toL2: toL2})
 	}
 }
 
@@ -208,9 +202,7 @@ func (sl *l2Slice) startFetch(line uint32, requestor int, class memsys.Class, gr
 		isStore: isStore, needUnblock: true, tIssue: env.K.Now()}
 	sl.ensureWay(line, func() {
 		mc := env.Cfg.MCTile(line)
-		hops := env.Mesh.Hops(sl.tile, mc)
-		env.Traffic.Ctl(class, memsys.BReqCtl, 1, hops)
-		sl.sys.send(sl.tile, mc, 1, &msgMemRead{
+		sl.sys.SendCtl(class, memsys.BReqCtl, sl.tile, mc, &msgMemRead{
 			line: line, home: sl.tile, requestor: requestor, grant: grant,
 			class: class, direct: sl.sys.opt.MemToL1, tIssue: e.busy.tIssue,
 		})
@@ -220,14 +212,13 @@ func (sl *l2Slice) startFetch(line uint32, requestor int, class memsys.Class, gr
 // ensureWay guarantees the set of line has a free way, evicting an
 // unbusied victim first if necessary, then calls cont.
 func (sl *l2Slice) ensureWay(line uint32, cont func()) {
-	env := sl.env()
 	victim := sl.c.VictimWhere(line, func(l *cache.Line) bool {
 		ve := sl.dir[l.Tag]
 		return ve == nil || ve.busy == nil
 	})
 	if victim == nil {
 		// Every way is mid-transaction; retry shortly.
-		env.K.After(env.Cfg.RetryBackoff, func() { sl.ensureWay(line, cont) })
+		sl.sys.RetryAfter(func() { sl.ensureWay(line, cont) })
 		return
 	}
 	if !victim.Valid {
@@ -240,17 +231,15 @@ func (sl *l2Slice) ensureWay(line uint32, cont func()) {
 // evictLine removes a resident line to make room, recalling or
 // invalidating L1 copies first (inclusive L2).
 func (sl *l2Slice) evictLine(ln *cache.Line, cont func()) {
-	env := sl.env()
 	line := ln.Tag
 	e := sl.entry(line)
 	e.busy = &txn{kind: txEvict, cont: cont}
 	switch {
 	case e.owner >= 0:
-		hops := env.Mesh.Hops(sl.tile, int(e.owner))
-		env.Traffic.Ctl(memsys.ClassOVH, memsys.BOvhInval, 1, hops)
-		sl.sys.send(sl.tile, int(e.owner), 1, &msgRecall{line: line})
+		sl.sys.SendCtl(memsys.ClassOVH, memsys.BOvhInval, sl.tile, int(e.owner),
+			&msgRecall{line: line})
 	case e.sharers != 0:
-		e.busy.pendingAcks = popcount(e.sharers)
+		e.busy.pendingAcks = coher.Popcount16(e.sharers)
 		sl.sendInvs(line, e.sharers, sl.tile, true)
 		e.sharers = 0
 	default:
@@ -285,27 +274,17 @@ func (sl *l2Slice) handleRecallResp(m *msgRecallResp) {
 func (sl *l2Slice) finishEvict(ln *cache.Line, e *dirEntry) {
 	env := sl.env()
 	line := ln.Tag
-	var dirtyMask uint16
-	var data [lineWords]uint32
-	for w := 0; w < lineWords; w++ {
-		data[w] = ln.Data[w]
-		if ln.WState[w]&wDirty != 0 {
-			dirtyMask |= 1 << w
-		}
-		env.Prof.L2Evict(ln.Inst[w])
-		if ln.MInst[w] != 0 {
-			env.Prof.MemRelease(ln.MInst[w], false)
-		}
-	}
+	dirtyMask := coher.DirtyMask(ln, wDirty)
+	data := coher.SnapshotData(ln)
+	coher.ReleaseL2Line(env, ln)
 	if dirtyMask != 0 {
 		// MESI always writes the full 64B line back to memory; the clean
 		// words are the Mem Waste of Figure 5.1d.
 		mc := env.Cfg.MCTile(line)
-		hops := env.Mesh.Hops(sl.tile, mc)
-		dirty := popcount(dirtyMask)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
+		dirty := coher.Popcount16(dirtyMask)
+		hops := sl.sys.CtlHops(memsys.ClassWB, memsys.BWBCtl, sl.tile, mc)
 		env.Traffic.WBData(true, hops, dirty, lineWords-dirty)
-		sl.sys.send(sl.tile, mc, 1+memsys.DataFlits(lineWords), &msgMemWB{
+		sl.sys.SendData(sl.tile, mc, lineWords, &msgMemWB{
 			line: line, data: data, wmask: 0xffff,
 		})
 	}
@@ -348,9 +327,8 @@ func (sl *l2Slice) handleMemData(m *msgMemData) {
 			} else {
 				e.sharers |= 1 << m.req
 			}
-			hops := env.Mesh.Hops(sl.tile, m.req)
-			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-			sl.sys.send(sl.tile, m.req, 1+memsys.DataFlits(lineWords), &msgData{
+			hops := sl.sys.CtlHops(m.class, memsys.BRespCtl, sl.tile, m.req)
+			sl.sys.SendData(sl.tile, m.req, lineWords, &msgData{
 				line: m.line, state: m.grant, data: m.data, minst: m.minst,
 				fromMem: true, tIssue: m.tIssue, tAtMC: m.tAtMC, tDram: m.tDram,
 				hops: hops, class: m.class,
@@ -489,8 +467,6 @@ func (sl *l2Slice) handlePut(m *msgPut) {
 		}
 		// Stale puts (line already evicted/transferred) are acked and
 		// ignored.
-		hops := env.Mesh.Hops(sl.tile, m.from)
-		env.Traffic.Ctl(memsys.ClassWB, memsys.BWBCtl, 1, hops)
-		sl.sys.send(sl.tile, m.from, 1, &msgWBAck{line: m.line})
+		sl.sys.SendCtl(memsys.ClassWB, memsys.BWBCtl, sl.tile, m.from, &msgWBAck{line: m.line})
 	})
 }

@@ -1,6 +1,9 @@
 package mesi
 
-import "repro/internal/memsys"
+import (
+	"repro/internal/coher"
+	"repro/internal/memsys"
+)
 
 // L1 line states (cache.Line.State).
 const (
@@ -165,4 +168,37 @@ type msgMemWB struct {
 	line  uint32
 	data  [lineWords]uint32
 	wmask uint16
+}
+
+// --- dispatch (coher.Msg) ---
+//
+// Each message routes itself to the right component of the destination
+// tile; the coher substrate invokes Dispatch on delivery.
+
+func (m *msgData) Dispatch(s *System, tile int)        { s.l1s[tile].handleData(m) }
+func (m *msgUpgAck) Dispatch(s *System, tile int)      { s.l1s[tile].handleUpgAck(m) }
+func (m *msgNack) Dispatch(s *System, tile int)        { s.l1s[tile].handleNack(m) }
+func (m *msgInv) Dispatch(s *System, tile int)         { s.l1s[tile].handleInv(m) }
+func (m *msgInvAck) Dispatch(s *System, tile int)      { s.l1s[tile].handleInvAck(m) }
+func (m *msgFwd) Dispatch(s *System, tile int)         { s.l1s[tile].handleFwd(m) }
+func (m *msgRecall) Dispatch(s *System, tile int)      { s.l1s[tile].handleRecall(m) }
+func (m *msgWBAck) Dispatch(s *System, tile int)       { s.l1s[tile].handleWBAck(m) }
+func (m *msgGetS) Dispatch(s *System, tile int)        { s.l2s[tile].handleGetS(m) }
+func (m *msgGetX) Dispatch(s *System, tile int)        { s.l2s[tile].handleGetX(m) }
+func (m *msgUpgrade) Dispatch(s *System, tile int)     { s.l2s[tile].handleUpgrade(m) }
+func (m *msgPut) Dispatch(s *System, tile int)         { s.l2s[tile].handlePut(m) }
+func (m *msgUnblock) Dispatch(s *System, tile int)     { s.l2s[tile].handleUnblock(m) }
+func (m *msgRecallResp) Dispatch(s *System, tile int)  { s.l2s[tile].handleRecallResp(m) }
+func (m *msgDowngradeWB) Dispatch(s *System, tile int) { s.l2s[tile].handleDowngradeWB(m) }
+func (m *msgMemData) Dispatch(s *System, tile int)     { s.l2s[tile].handleMemData(m) }
+func (m *msgMemRead) Dispatch(s *System, tile int)     { s.handleMemRead(tile, m) }
+func (m *msgMemWB) Dispatch(s *System, tile int)       { s.handleMemWB(tile, m) }
+
+// Compile-time check that the whole vocabulary dispatches.
+var _ = []coher.Msg[*System]{
+	(*msgGetS)(nil), (*msgGetX)(nil), (*msgUpgrade)(nil), (*msgPut)(nil),
+	(*msgUnblock)(nil), (*msgData)(nil), (*msgUpgAck)(nil), (*msgNack)(nil),
+	(*msgInv)(nil), (*msgInvAck)(nil), (*msgFwd)(nil), (*msgRecall)(nil),
+	(*msgRecallResp)(nil), (*msgDowngradeWB)(nil), (*msgWBAck)(nil),
+	(*msgMemRead)(nil), (*msgMemData)(nil), (*msgMemWB)(nil),
 }

@@ -3,6 +3,12 @@
 // GEMS simulator and modified for non-blocking writes (§3.3, §4.2), plus
 // the MMemL1 variant ("Memory Controller to L1 Transfer" for MESI).
 //
+// The package is a state machine plus a message vocabulary over the
+// internal/coher substrate: coher owns tile registration, transport and
+// traffic bookkeeping, the store buffer, the pending-transaction tables
+// and the drain gates; this package owns the MESI states, the directory,
+// and the handlers.
+//
 // Protocol shape reproduced here:
 //   - line-granularity coherence, fetch-on-write everywhere;
 //   - a blocking directory at the home L2 slice: requests to a line with a
@@ -25,18 +31,22 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coher"
 	"repro/internal/dram"
 	"repro/internal/memsys"
 )
 
-// Options selects the MESI variant.
+// Options selects the MESI variant. Name overrides the reported
+// configuration name (composed registry specs); empty derives the
+// canonical name from the option set.
 type Options struct {
+	Name    string
 	MemToL1 bool // MMemL1
 }
 
-// System is a complete MESI memory system over a memsys.Env.
+// System is a complete MESI memory system over the coher substrate.
 type System struct {
-	env *memsys.Env
+	coher.Substrate
 	opt Options
 	l1s []*l1Cache
 	l2s []*l2Slice
@@ -44,21 +54,23 @@ type System struct {
 
 // New builds the protocol engine and registers its tiles on the mesh.
 func New(env *memsys.Env, opt Options) *System {
-	s := &System{env: env, opt: opt}
+	s := &System{Substrate: coher.NewSubstrate(env), opt: opt}
 	n := env.Cfg.Tiles
 	s.l1s = make([]*l1Cache, n)
 	s.l2s = make([]*l2Slice, n)
 	for t := 0; t < n; t++ {
 		s.l1s[t] = newL1(s, t)
 		s.l2s[t] = newL2(s, t)
-		tile := t
-		env.Mesh.Register(tile, func(p any) { s.dispatch(tile, p) })
 	}
+	coher.RegisterTiles(env, s)
 	return s
 }
 
 // Name implements memsys.Protocol.
 func (s *System) Name() string {
+	if s.opt.Name != "" {
+		return s.opt.Name
+	}
 	if s.opt.MemToL1 {
 		return "MMemL1"
 	}
@@ -98,18 +110,18 @@ func (s *System) CheckInvariants() error {
 	}
 	var err error
 	for t, l1 := range s.l1s {
-		if len(l1.mshrs) != 0 {
-			return fmt.Errorf("mesi: tile %d has %d leftover MSHRs", t, len(l1.mshrs))
+		if l1.mshrs.Len() != 0 {
+			return fmt.Errorf("mesi: tile %d has %d leftover MSHRs", t, l1.mshrs.Len())
 		}
-		if len(l1.wbBuf) != 0 {
-			return fmt.Errorf("mesi: tile %d has %d leftover victim-buffer entries", t, len(l1.wbBuf))
+		if l1.wbBuf.Len() != 0 {
+			return fmt.Errorf("mesi: tile %d has %d leftover victim-buffer entries", t, l1.wbBuf.Len())
 		}
 		tile := t
 		l1.c.ForEach(func(ln *cache.Line) {
 			if err != nil {
 				return
 			}
-			home := s.l2s[s.env.Cfg.HomeTile(ln.Tag)]
+			home := s.l2s[s.Env.Cfg.HomeTile(ln.Tag)]
 			e := home.dir[ln.Tag]
 			if home.c.Lookup(ln.Tag) == nil || e == nil {
 				err = fmt.Errorf("mesi: inclusivity violation: tile %d holds line %#x absent from L2", tile, ln.Tag)
@@ -131,64 +143,11 @@ func (s *System) CheckInvariants() error {
 	return err
 }
 
-// dispatch routes a delivered payload to the right component of a tile.
-func (s *System) dispatch(tile int, p any) {
-	switch m := p.(type) {
-	// L1-bound.
-	case *msgData:
-		s.l1s[tile].handleData(m)
-	case *msgUpgAck:
-		s.l1s[tile].handleUpgAck(m)
-	case *msgNack:
-		s.l1s[tile].handleNack(m)
-	case *msgInv:
-		s.l1s[tile].handleInv(m)
-	case *msgInvAck:
-		s.l1s[tile].handleInvAck(m)
-	case *msgFwd:
-		s.l1s[tile].handleFwd(m)
-	case *msgRecall:
-		s.l1s[tile].handleRecall(m)
-	case *msgWBAck:
-		s.l1s[tile].handleWBAck(m)
-	// L2-bound.
-	case *msgGetS:
-		s.l2s[tile].handleGetS(m)
-	case *msgGetX:
-		s.l2s[tile].handleGetX(m)
-	case *msgUpgrade:
-		s.l2s[tile].handleUpgrade(m)
-	case *msgPut:
-		s.l2s[tile].handlePut(m)
-	case *msgUnblock:
-		s.l2s[tile].handleUnblock(m)
-	case *msgRecallResp:
-		s.l2s[tile].handleRecallResp(m)
-	case *msgDowngradeWB:
-		s.l2s[tile].handleDowngradeWB(m)
-	case *msgMemData:
-		s.l2s[tile].handleMemData(m)
-	// MC-bound.
-	case *msgMemRead:
-		s.handleMemRead(tile, m)
-	case *msgMemWB:
-		s.handleMemWB(tile, m)
-	default:
-		panic(fmt.Sprintf("mesi: unknown message %T at tile %d", p, tile))
-	}
-}
-
-// send pushes a message into the mesh and returns the hop count for
-// traffic accounting.
-func (s *System) send(src, dst, flits int, payload any) int {
-	return s.env.Mesh.Send(src, dst, flits, payload)
-}
-
 // l2HasWord reports whether the home L2 currently holds valid data for a
 // word (Figure 4.3's "address present in L2?" check at the MC).
 func (s *System) l2HasWord(addr uint32) bool {
 	line := memsys.LineOf(addr)
-	sl := s.l2s[s.env.Cfg.HomeTile(line)]
+	sl := s.l2s[s.Env.Cfg.HomeTile(line)]
 	l := sl.c.Lookup(line)
 	if l == nil {
 		return false
@@ -203,7 +162,7 @@ func (s *System) l2HasWord(addr uint32) bool {
 // channel model, values from the backing store, fresh memory-level waste
 // instances for every word shipped.
 func (s *System) handleMemRead(tile int, m *msgMemRead) {
-	env := s.env
+	env := s.Env
 	ch := env.Chans[env.Cfg.Channel(m.line)]
 	tAtMC := env.K.Now()
 	env.K.After(env.Cfg.MCLatency, func() {
@@ -217,18 +176,16 @@ func (s *System) handleMemRead(tile int, m *msgMemRead) {
 			}
 			if m.direct {
 				// MMemL1: straight to the requesting L1.
-				hops := env.Mesh.Hops(tile, m.requestor)
-				env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-				s.send(tile, m.requestor, 1+memsys.DataFlits(lineWords), &msgData{
+				hops := s.CtlHops(m.class, memsys.BRespCtl, tile, m.requestor)
+				s.SendData(tile, m.requestor, lineWords, &msgData{
 					line: m.line, state: m.grant, data: data, minst: minst,
 					fromMem: true, tIssue: m.tIssue, tAtMC: tAtMC, tDram: finish,
 					hops: hops, class: m.class,
 				})
 				return
 			}
-			hops := env.Mesh.Hops(tile, m.home)
-			env.Traffic.Ctl(m.class, memsys.BRespCtl, 1, hops)
-			s.send(tile, m.home, 1+memsys.DataFlits(lineWords), &msgMemData{
+			hops := s.CtlHops(m.class, memsys.BRespCtl, tile, m.home)
+			s.SendData(tile, m.home, lineWords, &msgMemData{
 				line: m.line, data: data, minst: minst, class: m.class,
 				grant: m.grant, req: m.requestor,
 				tIssue: m.tIssue, tAtMC: tAtMC, tDram: finish, hops: hops,
@@ -240,7 +197,7 @@ func (s *System) handleMemRead(tile int, m *msgMemRead) {
 // handleMemWB writes a full line back to DRAM (MESI always writes whole
 // lines; partial-write support is a DeNovo optimization).
 func (s *System) handleMemWB(tile int, m *msgMemWB) {
-	env := s.env
+	env := s.Env
 	ch := env.Chans[env.Cfg.Channel(m.line)]
 	env.K.After(env.Cfg.MCLatency, func() {
 		for w := 0; w < lineWords; w++ {

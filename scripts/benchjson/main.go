@@ -1,0 +1,76 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// benchmark-trajectory JSON committed as BENCH_pr<n>.json (see
+// scripts/bench.sh). Each benchmark line becomes one record holding every
+// reported metric (ns/op, B/op, allocs/op and the custom figure metrics).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type output struct {
+	Tool       string   `json:"tool"`
+	Command    string   `json:"command"`
+	Note       string   `json:"note"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := output{
+		Tool:    "scripts/bench.sh",
+		Command: "go test -bench=. -benchmem -benchtime=1x -run '^$'",
+		Note: "figure benches aggregate the Small-scale 9x6 matrix; ablation benches run Tiny. " +
+			"Custom metrics (percent-of-MESI stacks, flit-hops, cycles) are deterministic; " +
+			"ns/op, B/op and allocs/op are environment-dependent.",
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... --- FAIL"
+		}
+		rec := record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
