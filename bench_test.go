@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memsys"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -139,7 +140,7 @@ func ablationRunSized(b *testing.B, size workloads.Size, proto, bench string, mu
 			mutate(&cfg)
 		}
 		var err error
-		res, err = core.RunOne(cfg, proto, workloads.ByName(bench, size, 16))
+		res, err = core.RunOne(cfg, proto, workloads.MustByName(bench, size, 16))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,4 +220,38 @@ func BenchmarkExtensionBypassSoftware(b *testing.B) {
 
 func BenchmarkExtensionBypassHardware(b *testing.B) {
 	ablationRun(b, "DBypHW", "kD-tree", nil)
+}
+
+// --- Synthetic-pattern benches (the PR 4 workload axis) ---
+//
+// The same traffic/time/waste metrics on the registry's synthetic
+// patterns, so the trajectory tracks protocol behavior under controlled
+// sharing shapes alongside the application mixes. Hotspot at a single hot
+// tile is the concentration extreme; uniform is the spread extreme.
+func BenchmarkAblationSyntheticUniformMESI(b *testing.B) {
+	ablationRun(b, "MESI", "uniform", nil)
+}
+
+func BenchmarkAblationSyntheticUniformDeNovo(b *testing.B) {
+	ablationRun(b, "DeNovo", "uniform", nil)
+}
+
+func BenchmarkAblationSyntheticHotspotMESI(b *testing.B) {
+	ablationRun(b, "MESI", "hotspot(t=1)", nil)
+}
+
+func BenchmarkAblationSyntheticHotspotDeNovo(b *testing.B) {
+	ablationRun(b, "DeNovo", "hotspot(t=1)", nil)
+}
+
+// Trace replay overhead: replaying a recorded FFT trace must cost the
+// same simulated work as the live program (the recorded stream is
+// bit-identical); the bench pins the replay path's throughput.
+func BenchmarkAblationTraceReplayFFT(b *testing.B) {
+	dir := b.TempDir()
+	path := dir + "/fft.trc"
+	if err := trace.WriteFile(path, trace.Record(workloads.MustByName("FFT", workloads.Tiny, 16))); err != nil {
+		b.Fatal(err)
+	}
+	ablationRun(b, "MESI", "replay(file="+path+")", nil)
 }

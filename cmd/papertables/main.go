@@ -73,16 +73,41 @@ func main() {
 	for _, o := range core.OptionCatalog() {
 		fmt.Printf("    %-8s [%s] %s\n", o.Token, strings.Join(o.Families, ","), o.Desc)
 	}
-	nScenarios := core.ScenarioCount(len(workloads.Names()), len(mesh.TopologyKinds()), len(mesh.RouterKinds()))
-	fmt.Printf("\n  Scenario space: %d registered protocols x %d benchmarks x %d topologies x %d routers = %d configurations\n",
-		len(inventory), len(workloads.Names()), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), nScenarios)
+	registryWorkloads := workloads.RegistryWorkloads()
+	nScenarios := core.ScenarioCount(len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()))
+	fmt.Printf("\n  Scenario space: %d registered protocols x %d workloads x %d topologies x %d routers = %d configurations\n",
+		len(inventory), len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), nScenarios)
+
+	fmt.Println("\nWorkload registry (trafficsim -benchmarks; specs are name(key=value,...))")
+	fmt.Printf("  %-10s %-9s %s\n", "name", "kind", "description")
+	for _, w := range workloads.SpecCatalog() {
+		kind := "benchmark"
+		if w.Synthetic {
+			kind = "synthetic"
+		}
+		fmt.Printf("  %-10s %-9s %s\n", w.Name, kind, w.Desc)
+		for _, p := range w.Params {
+			def := p.Default
+			if def == "" {
+				def = "required"
+			}
+			fmt.Printf("  %-10s   %-7s   %s=%s: %s\n", "", "", p.Key, def, p.Desc)
+		}
+	}
+	fmt.Println("\n  Preset parameter variants (counted in the scenario space):")
+	for _, spec := range workloads.PresetVariants() {
+		fmt.Printf("    %s\n", spec)
+	}
 
 	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")
 	fmt.Printf("  %-14s %-12s %-12s %-12s\n", "application", "tiny", "small", "paper")
 	for _, name := range workloads.Names() {
 		fmt.Printf("  %-14s", name)
 		for _, size := range []workloads.Size{workloads.Tiny, workloads.Small, workloads.Paper} {
-			p := workloads.ByName(name, size, 16)
+			p, err := workloads.ByName(name, size, 16)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf(" %9.1f MB", float64(p.FootprintBytes())/(1024*1024))
 		}
 		fmt.Println()

@@ -2,11 +2,14 @@
 // tables: the protocol x benchmark traffic/time/waste matrices of Figures
 // 5.1a-d, 5.2 and 5.3a-c, plus the headline paper-vs-measured summary.
 //
-// Examples:
-//
 // Protocols are resolved through the composable registry: canonical paper
 // names (MESI ... DBypFull) or base+Option specs such as DeNovo+BypL2 or
-// DFlexL1+BypFull (see cmd/papertables for the full inventory).
+// DFlexL1+BypFull. Benchmarks are workload-registry specs: the paper's six
+// ported benchmarks, synthetic traffic patterns with optional parameters
+// (uniform, transpose, bitcomp, hotspot, neighbor, prodcons), or recorded
+// traces (see cmd/papertables for both inventories).
+//
+// Examples:
 //
 //	trafficsim -fig 5.1a -size small
 //	trafficsim -fig all -size tiny -benchmarks FFT,radix
@@ -15,6 +18,9 @@
 //	trafficsim -fig 5.1a -protocols MESI,DeNovo,DeNovo+BypL2,DFlexL1+BypFull
 //	trafficsim -fig 5.1a -topology torus -workers 8
 //	trafficsim -fig net -router vc -size tiny -benchmarks FFT
+//	trafficsim -fig net -router vc -benchmarks 'uniform(p=0.1),hotspot(t=2),transpose'
+//	trafficsim -record /tmp/fft.trc -benchmarks FFT -size tiny
+//	trafficsim -fig 5.1a -benchmarks 'replay(file=/tmp/fft.trc)'
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -32,7 +39,8 @@ func main() {
 	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
 	protoCSV := flag.String("protocols", "", "comma-separated protocol specs: canonical names or base+Option compositions, e.g. MESI,DeNovo+BypL2 (default: the paper's nine)")
-	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
+	benchCSV := flag.String("benchmarks", "", "comma-separated workload specs: benchmark names, synthetic patterns like uniform(p=0.1) or hotspot(t=2), or replay(file=x.trc) (default: the paper's six)")
+	record := flag.String("record", "", "record the single workload in -benchmarks to this trace file and exit (run it later with replay(file=...))")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
 	router := flag.String("router", "ideal", "router model: ideal (injection-time reservation), vc (cycle-level VC wormhole)")
@@ -40,7 +48,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	if *fig == "" && !*summary {
+	if *fig == "" && !*summary && *record == "" {
 		*fig = "all"
 		*summary = true
 	}
@@ -58,12 +66,55 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fail fast on unknown figure ids and workload specs, before paying
+	// for any simulation.
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = core.FigureIDs()
+	}
+	if *fig != "" {
+		for _, id := range ids {
+			if err := core.ValidFigureID(id); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	benchmarks := splitSpecs(*benchCSV)
+	for _, spec := range benchmarks {
+		if _, err := workloads.ParseSpec(spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *record != "" {
+		if len(benchmarks) != 1 {
+			fmt.Fprintln(os.Stderr, "-record needs exactly one workload in -benchmarks")
+			os.Exit(2)
+		}
+		prog, err := workloads.ByName(benchmarks[0], size, *threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := trace.Record(prog)
+		if err := trace.WriteFile(*record, tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %s (%s scale, %d threads, %d phases, %d ops) to %s\n",
+			prog.Name(), size, prog.Threads(), tr.Phases(), tr.TotalOps(), *record)
+		fmt.Printf("replay with: -benchmarks 'replay(file=%s)'\n", *record)
+		return
+	}
+
 	opt := core.MatrixOptions{Size: size, Threads: *threads, Topology: *topology, Router: *router, Workers: *workers}
 	if *protoCSV != "" {
 		opt.Protocols = splitCSV(*protoCSV)
 	}
-	if *benchCSV != "" {
-		opt.Benchmarks = splitCSV(*benchCSV)
+	if len(benchmarks) > 0 {
+		opt.Benchmarks = benchmarks
 	}
 	if !*quiet {
 		opt.Progress = func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) }
@@ -79,10 +130,6 @@ func main() {
 		fmt.Printf("NoC topology: %s, router: %s\n\n", m.Topology, m.Router)
 	}
 
-	ids := []string{*fig}
-	if *fig == "all" {
-		ids = core.FigureIDs()
-	}
 	if *fig != "" {
 		for _, id := range ids {
 			t, err := m.Figure(id)
@@ -105,5 +152,34 @@ func splitCSV(s string) []string {
 			out = append(out, p)
 		}
 	}
+	return out
+}
+
+// splitSpecs splits a comma-separated workload-spec list, keeping commas
+// inside parameter lists intact: "hotspot(t=2,p=0.1),FFT" is two specs.
+func splitSpecs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if p := strings.TrimSpace(s[start:end]); p != "" {
+			out = append(out, p)
+		}
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
 	return out
 }

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	size := workloads.Tiny
-	prog := func() memsys.Program { return workloads.ByName("FFT", size, 16) }
+	prog := func() memsys.Program { return workloads.MustByName("FFT", size, 16) }
 
 	type row struct {
 		filters, entries int

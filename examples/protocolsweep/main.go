@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "kD-tree", "benchmark: fluidanimate, LU, FFT, radix, barnes, kD-tree")
+	bench := flag.String("bench", "kD-tree", "workload spec: a ported benchmark (fluidanimate, LU, FFT, radix, barnes, kD-tree) or a synthetic pattern like uniform(p=0.1), hotspot(t=2), prodcons")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
 	router := flag.String("router", "ideal", "router model: ideal, vc")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU)")

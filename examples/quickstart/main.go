@@ -18,7 +18,7 @@ func main() {
 	// paper (DESIGN.md). Tiny finishes in seconds.
 	size := workloads.Tiny
 	cfg := memsys.Default().Scaled(size.ScaleDiv())
-	prog := workloads.ByName("FFT", size, 16)
+	prog := workloads.MustByName("FFT", size, 16)
 
 	var results []*core.Result
 	for _, proto := range []string{"MESI", "DBypFull"} {
@@ -59,6 +59,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s %14.0f %11.1f%% of mesh\n", topo, r.Total(), r.Total()/meshTotal*100)
+	}
+
+	// The workload axis is wider than the ported benchmarks: the registry
+	// also serves synthetic traffic patterns (uniform, transpose, bitcomp,
+	// hotspot, neighbor, prodcons), each a DRF program with the same waste
+	// attribution, so protocol wins can be read against a controlled
+	// sharing pattern instead of an application's mix.
+	fmt.Println("\nDBypFull vs MESI on synthetic patterns (flit-hops):")
+	fmt.Printf("%-16s %14s %14s %10s\n", "pattern", "MESI", "DBypFull", "vs MESI")
+	for _, spec := range []string{"uniform", "hotspot(t=1)", "prodcons"} {
+		sp := workloads.MustByName(spec, size, 16)
+		var tot [2]float64
+		for i, proto := range []string{"MESI", "DBypFull"} {
+			r, err := core.RunOne(cfg, proto, sp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tot[i] = r.Total()
+		}
+		fmt.Printf("%-16s %14.0f %14.0f %9.1f%%\n", spec, tot[0], tot[1], tot[1]/tot[0]*100)
 	}
 
 	// The router model decides what congestion the telemetry can see: the

@@ -16,16 +16,16 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "fluidanimate", "benchmark name")
+	bench := flag.String("bench", "fluidanimate", "workload spec: a benchmark name or a synthetic pattern like uniform(p=0.1)")
 	proto := flag.String("protocol", "DBypFull", "protocol configuration")
 	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
 	router := flag.String("router", "ideal", "router model: ideal, vc")
 	flag.Parse()
 
 	size := workloads.Tiny
-	prog := workloads.ByName(*bench, size, 16)
-	if prog == nil {
-		log.Fatalf("unknown benchmark %q", *bench)
+	prog, err := workloads.ByName(*bench, size, 16)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := memsys.Default().Scaled(size.ScaleDiv())
 	cfg.Topology = *topology
@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s under %s — words fetched per level, by waste category\n\n", *bench, *proto)
+	fmt.Printf("%s under %s — words fetched per level, by waste category\n\n", prog.Name(), *proto)
 	fmt.Printf("%-8s %10s", "level", "total")
 	for _, c := range waste.Categories {
 		fmt.Printf(" %11s", c)

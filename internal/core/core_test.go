@@ -15,7 +15,7 @@ func TestProtocolRegistry(t *testing.T) {
 	if len(names) != 9 {
 		t.Fatalf("%d protocols, want 9", len(names))
 	}
-	prog := workloads.ByName("LU", workloads.Tiny, 16)
+	prog := workloads.MustByName("LU", workloads.Tiny, 16)
 	for _, n := range names {
 		env, err := memsys.NewEnv(memsys.Default().Scaled(64), prog.FootprintBytes(), prog.Regions())
 		if err != nil {
@@ -36,7 +36,7 @@ func TestProtocolRegistry(t *testing.T) {
 }
 
 func TestRunOneProducesResult(t *testing.T) {
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	res, err := core.RunOne(memsys.Default().Scaled(64), "MESI", prog)
 	if err != nil {
 		t.Fatal(err)
@@ -166,12 +166,12 @@ func TestDeterministicRuns(t *testing.T) {
 	// the whole simulator is deterministic (no map-order leakage).
 	for _, proto := range []string{"MESI", "DBypFull"} {
 		a, err := core.RunOne(memsys.Default().Scaled(64), proto,
-			workloads.ByName("barnes", workloads.Tiny, 16))
+			workloads.MustByName("barnes", workloads.Tiny, 16))
 		if err != nil {
 			t.Fatal(err)
 		}
 		b, err := core.RunOne(memsys.Default().Scaled(64), proto,
-			workloads.ByName("barnes", workloads.Tiny, 16))
+			workloads.MustByName("barnes", workloads.Tiny, 16))
 		if err != nil {
 			t.Fatal(err)
 		}

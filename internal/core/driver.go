@@ -84,13 +84,13 @@ func (r *Runner) Run() error {
 			break // queue drained
 		}
 		if r.env.K.Steps() > MaxSteps {
-			return fmt.Errorf("core: livelock in %s/%s at phase %d (cycle %d, %d events)",
-				r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now(), r.env.K.Steps())
+			return fmt.Errorf("core: livelock in %s/%s at phase %d (cycle %d, %d events, %d clamped)",
+				r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now(), r.env.K.Steps(), r.env.K.Clamped())
 		}
 	}
 	if !r.finished {
-		return fmt.Errorf("core: deadlock in %s/%s at phase %d (cycle %d)",
-			r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now())
+		return fmt.Errorf("core: deadlock in %s/%s at phase %d (cycle %d, %d clamped)",
+			r.proto.Name(), r.prog.Name(), r.phase, r.env.K.Now(), r.env.K.Clamped())
 	}
 	r.env.K.Run() // drain trailing protocol events (acks, writebacks)
 	return r.oracleErr

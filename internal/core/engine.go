@@ -43,19 +43,49 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	} else {
 		// Normalize specs up front so whitespace spellings of one
 		// composition share a matrix key (and unknown specs fail before
-		// any cell runs).
+		// any cell runs). Two spellings of one configuration would
+		// simulate the same cells twice and print duplicate figure rows,
+		// so duplicates are an error, not a silent double-run.
 		normalized := make([]string, len(opt.Protocols))
+		seen := make(map[string]string, len(opt.Protocols))
 		for i, spec := range opt.Protocols {
 			v, err := ParseProtocol(spec)
 			if err != nil {
 				return nil, err
 			}
+			if prev, dup := seen[v.Spec]; dup {
+				return nil, fmt.Errorf("core: protocols %q and %q are the same configuration %q", prev, spec, v.Spec)
+			}
+			seen[v.Spec] = spec
 			normalized[i] = v.Spec
 		}
 		opt.Protocols = normalized
 	}
+	var benchSpecs []*workloads.Spec
 	if opt.Benchmarks == nil {
 		opt.Benchmarks = workloads.Names()
+	} else {
+		// Normalize workload specs like protocol specs: spelling variants
+		// of one configuration share a matrix key, and unknown benchmarks
+		// fail loudly before any cell runs (the old path silently skipped
+		// them via a nil program). Duplicate canonical specs are an error
+		// for the same reason as duplicate protocols.
+		normalized := make([]string, len(opt.Benchmarks))
+		benchSpecs = make([]*workloads.Spec, len(opt.Benchmarks))
+		seen := make(map[string]string, len(opt.Benchmarks))
+		for i, spec := range opt.Benchmarks {
+			s, err := workloads.ParseSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			if prev, dup := seen[s.Canonical]; dup {
+				return nil, fmt.Errorf("core: benchmarks %q and %q are the same workload %q", prev, spec, s.Canonical)
+			}
+			seen[s.Canonical] = spec
+			normalized[i] = s.Canonical
+			benchSpecs[i] = s
+		}
+		opt.Benchmarks = normalized
 	}
 
 	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
@@ -74,8 +104,14 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	// state frozen at construction, so concurrent readers are safe.
 	progs := make([]memsys.Program, len(opt.Benchmarks))
 	for i, bench := range opt.Benchmarks {
-		if progs[i] = workloads.ByName(bench, opt.Size, opt.Threads); progs[i] == nil {
-			return nil, fmt.Errorf("core: unknown benchmark %q", bench)
+		var err error
+		if benchSpecs != nil {
+			progs[i], err = benchSpecs[i].Build(opt.Size, opt.Threads)
+		} else {
+			progs[i], err = workloads.ByName(bench, opt.Size, opt.Threads)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 

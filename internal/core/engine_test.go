@@ -173,7 +173,7 @@ func TestVCMatrixMatchesSerial(t *testing.T) {
 // higher mean packet latency than the ideal reservation model: credit
 // stalls and allocation cycles are no longer invisible.
 func TestVCLatencyAboveIdealEndToEnd(t *testing.T) {
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	cfg := memsys.Default().Scaled(workloads.Tiny.ScaleDiv())
 	ideal, err := core.RunOne(cfg, "MESI", prog)
 	if err != nil {

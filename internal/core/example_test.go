@@ -13,7 +13,7 @@ import (
 func ExampleRunOne() {
 	size := workloads.Tiny
 	cfg := memsys.Default().Scaled(size.ScaleDiv())
-	prog := workloads.ByName("LU", size, 16)
+	prog := workloads.MustByName("LU", size, 16)
 
 	res, err := core.RunOne(cfg, "MESI", prog)
 	if err != nil {

@@ -40,6 +40,12 @@ type Result struct {
 	Time       memsys.TimeBreakdown // summed over cores
 	WasteShare float64
 	Net        mesh.NetStats // congestion telemetry over the measured window
+
+	// KernelClamped counts events the kernel had to clamp to "now"
+	// because a component scheduled them in the past. Any nonzero value
+	// is a component-logic bug; the regression suite asserts zero across
+	// the full Tiny matrix under both router models.
+	KernelClamped uint64
 }
 
 // ClassTotal sums a traffic class.
@@ -85,13 +91,14 @@ func RunOne(cfg memsys.Config, protoName string, prog memsys.Program) (*Result, 
 		return nil, err
 	}
 	res := &Result{
-		Protocol:   proto.Name(), // the normalized registry spec
-		Benchmark:  prog.Name(),
-		FlitHops:   env.Traffic.Snapshot(),
-		Waste:      env.Prof.Snapshot(),
-		ExecCycles: r.ExecCycles(),
-		WasteShare: env.Traffic.WasteShare(),
-		Net:        env.Mesh.Stats(),
+		Protocol:      proto.Name(), // the normalized registry spec
+		Benchmark:     prog.Name(),
+		FlitHops:      env.Traffic.Snapshot(),
+		Waste:         env.Prof.Snapshot(),
+		ExecCycles:    r.ExecCycles(),
+		WasteShare:    env.Traffic.WasteShare(),
+		Net:           env.Mesh.Stats(),
+		KernelClamped: env.K.Clamped(),
 	}
 	for _, tb := range r.Times {
 		res.Time.Busy += tb.Busy
@@ -125,10 +132,14 @@ func (m *Matrix) Get(bench, proto string) *Result {
 
 // MatrixOptions configures RunMatrix / RunMatrixContext.
 type MatrixOptions struct {
-	Size       workloads.Size
-	Threads    int      // 0 = 16 (the paper's tile count)
-	Protocols  []string // nil = all nine
-	Benchmarks []string // nil = all six
+	Size      workloads.Size
+	Threads   int      // 0 = 16 (the paper's tile count)
+	Protocols []string // nil = all nine
+	// Benchmarks selects the workloads, as registry specs: ported
+	// benchmark names, synthetic patterns with optional parameters
+	// ("uniform(p=0.1)", "hotspot(t=2)"), or trace replays
+	// ("replay(file=x.trc)"). nil = the paper's six benchmarks.
+	Benchmarks []string
 	// Topology selects the NoC topology for every cell: "mesh" (default),
 	// "ring", or "torus".
 	Topology string

@@ -270,29 +270,64 @@ func (m *Matrix) FigCongestion() *Table {
 	return t
 }
 
-// Figure builds a figure table by the paper's figure id.
-func (m *Matrix) Figure(id string) (*Table, error) {
+// figureKey normalizes a figure id to its canonical form, or returns ""
+// for unknown ids.
+func figureKey(id string) string {
 	switch strings.ToLower(strings.TrimSpace(id)) {
 	case "5.1a", "fig5.1a":
-		return m.Fig51a(), nil
+		return "5.1a"
 	case "5.1b", "fig5.1b":
-		return m.Fig51b(), nil
+		return "5.1b"
 	case "5.1c", "fig5.1c":
-		return m.Fig51c(), nil
+		return "5.1c"
 	case "5.1d", "fig5.1d":
-		return m.Fig51d(), nil
+		return "5.1d"
 	case "5.2", "fig5.2":
-		return m.Fig52(), nil
+		return "5.2"
 	case "5.3a", "fig5.3a":
-		return m.Fig53a(), nil
+		return "5.3a"
 	case "5.3b", "fig5.3b":
-		return m.Fig53b(), nil
+		return "5.3b"
 	case "5.3c", "fig5.3c":
-		return m.Fig53c(), nil
+		return "5.3c"
 	case "net", "congestion":
+		return "net"
+	}
+	return ""
+}
+
+// ValidFigureID rejects unknown figure ids with the known list, so CLIs
+// can fail fast before paying for a matrix run.
+func ValidFigureID(id string) error {
+	if figureKey(id) == "" {
+		return fmt.Errorf("core: unknown figure %q (figures: %s)", id, strings.Join(FigureIDs(), ", "))
+	}
+	return nil
+}
+
+// Figure builds a figure table by the paper's figure id.
+func (m *Matrix) Figure(id string) (*Table, error) {
+	switch figureKey(id) {
+	case "5.1a":
+		return m.Fig51a(), nil
+	case "5.1b":
+		return m.Fig51b(), nil
+	case "5.1c":
+		return m.Fig51c(), nil
+	case "5.1d":
+		return m.Fig51d(), nil
+	case "5.2":
+		return m.Fig52(), nil
+	case "5.3a":
+		return m.Fig53a(), nil
+	case "5.3b":
+		return m.Fig53b(), nil
+	case "5.3c":
+		return m.Fig53c(), nil
+	case "net":
 		return m.FigCongestion(), nil
 	}
-	return nil, fmt.Errorf("core: unknown figure %q", id)
+	return nil, fmt.Errorf("core: unknown figure %q (figures: %s)", id, strings.Join(FigureIDs(), ", "))
 }
 
 // FigureIDs lists the reproducible figure ids: the paper's eight figures

@@ -36,7 +36,7 @@ func (r *specResult) Total() float64 {
 // oracle active and the protocol invariants checked at quiescence.
 func runSpec(t *testing.T, spec, bench string) *specResult {
 	t.Helper()
-	prog := workloads.ByName(bench, workloads.Tiny, 16)
+	prog := workloads.MustByName(bench, workloads.Tiny, 16)
 	cfg := memsys.Default().Scaled(workloads.Tiny.ScaleDiv())
 	env, err := memsys.NewEnv(cfg, prog.FootprintBytes(), prog.Regions())
 	if err != nil {

@@ -12,7 +12,7 @@ import (
 // TestDiagnostics runs the trickiest workload/variant pair and dumps the
 // protocol state on deadlock or an oracle violation.
 func TestDiagnostics(t *testing.T) {
-	prog := workloads.ByName("radix", workloads.Tiny, 16)
+	prog := workloads.MustByName("radix", workloads.Tiny, 16)
 	env, err := memsys.NewEnv(testConfig(), prog.FootprintBytes(), prog.Regions())
 	if err != nil {
 		t.Fatal(err)

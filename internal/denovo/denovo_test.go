@@ -84,7 +84,7 @@ func TestAllWorkloadsAllVariants(t *testing.T) {
 func TestWriteValidateNoStoreDataFetch(t *testing.T) {
 	// §5.2.2: write-validate eliminates store-triggered data responses to
 	// the L1 entirely (MESI's fetch-on-write fetches a full line).
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	env, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
 	stL1 := env.Traffic.Get(memsys.ClassST, memsys.BRespL1Used) +
 		env.Traffic.Get(memsys.ClassST, memsys.BRespL1Waste)
@@ -100,9 +100,9 @@ func TestWriteValidateNoStoreDataFetch(t *testing.T) {
 func TestBaselineFetchOnWriteAtL2(t *testing.T) {
 	// §5.2.2: baseline DeNovo keeps fetch-on-write at the L2 (store-class
 	// memory fills); DValidateL2 eliminates it.
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
-	prog2 := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DValidateL2"))
 
 	base := envA.Traffic.Get(memsys.ClassST, memsys.BRespL2Used) +
@@ -120,12 +120,12 @@ func TestBaselineFetchOnWriteAtL2(t *testing.T) {
 func TestDirtyWordsOnlyWritebacks(t *testing.T) {
 	// Figure 5.1d: DeNovo L1->L2 writebacks carry only dirty words (no L2
 	// Waste); DValidateL2 extends this to L2->Mem writebacks.
-	prog := workloads.ByName("radix", workloads.Tiny, 16)
+	prog := workloads.MustByName("radix", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
 	if w := envA.Traffic.Get(memsys.ClassWB, memsys.BWBL2Waste); w != 0 {
 		t.Fatalf("DeNovo L1->L2 WB carries %v waste flit-hops", w)
 	}
-	prog2 := workloads.ByName("radix", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("radix", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DValidateL2"))
 	if w := envB.Traffic.Get(memsys.ClassWB, memsys.BWBMemWaste); w != 0 {
 		t.Fatalf("DValidateL2 L2->Mem WB carries %v waste flit-hops", w)
@@ -141,7 +141,7 @@ func TestDeNovoOverheadIsOnlyNacksAndBloom(t *testing.T) {
 	// §5.2.4: DeNovo has no invalidation/ack/unblock overhead; its only
 	// overhead messages are NACKs (and Bloom copies with DBypFull).
 	for _, name := range []string{"DeNovo", "DValidateL2", "DFlexL2"} {
-		prog := workloads.ByName("LU", workloads.Tiny, 16)
+		prog := workloads.MustByName("LU", workloads.Tiny, 16)
 		env, _, _ := runProgram(t, prog, variant(t, name))
 		for _, b := range []memsys.Bucket{memsys.BOvhUnblock, memsys.BOvhInval, memsys.BOvhAck, memsys.BOvhWBCtl} {
 			if v := env.Traffic.Get(memsys.ClassOVH, b); v != 0 {
@@ -153,9 +153,9 @@ func TestDeNovoOverheadIsOnlyNacksAndBloom(t *testing.T) {
 
 func TestFlexReducesLoadTrafficOnBarnes(t *testing.T) {
 	// §5.2.1: Flex sends only communication-region words for Barnes-Hut.
-	prog := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog := workloads.MustByName("barnes", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
-	prog2 := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("barnes", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DFlexL1"))
 	a := envA.Traffic.ClassTotal(memsys.ClassLD)
 	b := envB.Traffic.ClassTotal(memsys.ClassLD)
@@ -166,9 +166,9 @@ func TestFlexReducesLoadTrafficOnBarnes(t *testing.T) {
 
 func TestBypassReducesL2Insertions(t *testing.T) {
 	// §5.2.1: L2 response bypass keeps streaming data out of the L2.
-	prog := workloads.ByName("kD-tree", workloads.Tiny, 16)
+	prog := workloads.MustByName("kD-tree", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DFlexL2"))
-	prog2 := workloads.ByName("kD-tree", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("kD-tree", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DBypL2"))
 	a := envA.Prof.TotalWords(waste.LevelL2)
 	b := envB.Prof.TotalWords(waste.LevelL2)
@@ -178,7 +178,7 @@ func TestBypassReducesL2Insertions(t *testing.T) {
 }
 
 func TestRequestBypassUsesBloomFilters(t *testing.T) {
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	env, _, _ := runProgram(t, prog, variant(t, "DBypFull"))
 	if env.Traffic.Get(memsys.ClassOVH, memsys.BOvhBloom) == 0 {
 		t.Fatal("DBypFull generated no Bloom copy traffic")
@@ -188,13 +188,13 @@ func TestRequestBypassUsesBloomFilters(t *testing.T) {
 func TestFlexL2ProducesExcessWaste(t *testing.T) {
 	// §5.3: with conventional line-granularity DRAM, L2 Flex drops
 	// non-communication words at the MC (Excess waste) for barnes/kD-tree.
-	prog := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog := workloads.MustByName("barnes", workloads.Tiny, 16)
 	env, _, _ := runProgram(t, prog, variant(t, "DFlexL2"))
 	if env.Prof.Count(waste.LevelMem, waste.Excess) == 0 {
 		t.Fatal("DFlexL2 on barnes produced no Excess waste")
 	}
 	// Without FlexL2 there is no Excess at all.
-	prog2 := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("barnes", workloads.Tiny, 16)
 	env2, _, _ := runProgram(t, prog2, variant(t, "DMemL1"))
 	if env2.Prof.Count(waste.LevelMem, waste.Excess) != 0 {
 		t.Fatal("DMemL1 produced Excess waste without L2 Flex")
@@ -205,7 +205,7 @@ func TestSelfInvalidationRefetches(t *testing.T) {
 	// A reader of a written region must refetch after the barrier: the
 	// runner's oracle already validates the VALUE; here we check the
 	// invalidation waste category shows up at the L1.
-	prog := workloads.ByName("fluidanimate", workloads.Tiny, 16)
+	prog := workloads.MustByName("fluidanimate", workloads.Tiny, 16)
 	env, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
 	if env.Prof.Count(waste.LevelL1, waste.Invalidate) == 0 {
 		t.Fatal("self-invalidation produced no Invalidate waste")
@@ -215,9 +215,9 @@ func TestSelfInvalidationRefetches(t *testing.T) {
 func TestDeNovoBeatsMESIOnTraffic(t *testing.T) {
 	// Headline direction (§5.1): the fully optimized protocol cuts traffic
 	// relative to the DeNovo baseline on bypassable benchmarks.
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
-	prog2 := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DBypFull"))
 	if envB.Traffic.Total() >= envA.Traffic.Total() {
 		t.Fatalf("DBypFull traffic %.0f >= DeNovo %.0f on FFT",
@@ -289,9 +289,9 @@ func TestFlexOutsideCommFallsBackToLine(t *testing.T) {
 	// regions are usage-specific). barnes' update phase reads vel/acc
 	// which are outside the force-phase comm region; DFlexL1's request
 	// count must stay close to the baseline's.
-	prog := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog := workloads.MustByName("barnes", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, variant(t, "DeNovo"))
-	prog2 := workloads.ByName("barnes", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("barnes", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, variant(t, "DFlexL1"))
 	a := envA.Traffic.Get(memsys.ClassLD, memsys.BReqCtl)
 	b := envB.Traffic.Get(memsys.ClassLD, memsys.BReqCtl)
@@ -314,9 +314,9 @@ func TestHardwareBypassPredictorExtension(t *testing.T) {
 	}
 	// Streaming comparison: kD-tree edges give the predictor dead lines
 	// to learn from.
-	prog := workloads.ByName("kD-tree", workloads.Tiny, 16)
+	prog := workloads.MustByName("kD-tree", workloads.Tiny, 16)
 	envBase, _, _ := runProgram(t, prog, variant(t, "DFlexL2"))
-	prog2 := workloads.ByName("kD-tree", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("kD-tree", workloads.Tiny, 16)
 	envHW, _, _ := runProgram(t, prog2, variant(t, "DBypHW"))
 	a := envBase.Prof.TotalWords(waste.LevelL2)
 	b := envHW.Prof.TotalWords(waste.LevelL2)

@@ -53,6 +53,15 @@ type Config struct {
 	// therefore the congestion telemetry — follow it; flit-hop traffic
 	// accounting is identical under both.
 	Router string
+	// VCs is the vc router's virtual-channel count per input port
+	// (0 = default 2). It must be even and at least 2: the dateline
+	// deadlock-avoidance scheme splits the VCs into two equal classes, so
+	// an odd count would silently give class 0 fewer buffers and skew
+	// both fairness and the torus deadlock margin. Validate rejects odd
+	// values rather than letting that imbalance happen.
+	VCs int
+	// VCDepth is the vc router's flit buffer depth per VC (0 = default 4).
+	VCDepth int
 
 	L1Bytes int // private L1 data cache per tile
 	L1Assoc int
@@ -147,6 +156,12 @@ func (c Config) Validate() error {
 	}
 	if err := mesh.ValidRouter(c.Router); err != nil {
 		return fmt.Errorf("memsys: %w", err)
+	}
+	if c.VCs != 0 && (c.VCs < 2 || c.VCs%2 != 0) {
+		return fmt.Errorf("memsys: VCs = %d; the dateline split needs an even count >= 2", c.VCs)
+	}
+	if c.VCDepth < 0 {
+		return fmt.Errorf("memsys: VCDepth = %d must not be negative", c.VCDepth)
 	}
 	if len(c.MCTiles) == 0 {
 		return fmt.Errorf("memsys: no memory controllers")

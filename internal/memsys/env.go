@@ -113,8 +113,9 @@ func NewEnv(cfg Config, footprintBytes uint32, regions []Region) (*Env, error) {
 		K: k,
 		Mesh: mesh.New(k, mesh.Config{
 			Width: cfg.MeshWidth, Height: cfg.MeshHeight,
-			Topology:    cfg.Topology,
-			Router:      cfg.Router,
+			Topology: cfg.Topology,
+			Router:   cfg.Router,
+			VCs:      cfg.VCs, VCDepth: cfg.VCDepth,
 			LinkLatency: cfg.LinkLatency, LocalLatency: 1,
 		}),
 		Cfg:     cfg,

@@ -350,6 +350,49 @@ func TestConfigTopologyValidation(t *testing.T) {
 	}
 }
 
+// Regression for the silent dateline imbalance: Config documents "min 2"
+// VCs but odd counts used to pass straight into allocVC's vcs/2 split,
+// giving class 0 fewer buffers (VCs=3 -> classes of 1 and 2). Validate
+// must reject them loudly; even counts >= 2 and the 0 default stay legal.
+func TestConfigVCValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Router = "vc"
+	for _, vcs := range []int{0, 2, 4, 8} {
+		cfg.VCs = vcs
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("VCs=%d rejected: %v", vcs, err)
+		}
+	}
+	for _, vcs := range []int{1, 3, 5, 7, -2} {
+		cfg.VCs = vcs
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("VCs=%d accepted; the dateline split needs an even count >= 2", vcs)
+		}
+	}
+	cfg.VCs = 0
+	cfg.VCDepth = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative VCDepth accepted")
+	}
+}
+
+// The VC knobs must actually reach the fabric: an env built with VCs=4
+// must run the vc router with four VCs per input port (peak occupancy can
+// then exceed the default two VCs' worth only if the knob threaded).
+func TestEnvVCKnobsThreadThrough(t *testing.T) {
+	cfg := Default().Scaled(64)
+	cfg.Router = "vc"
+	cfg.VCs = 4
+	cfg.VCDepth = 1
+	env, err := NewEnv(cfg, 4096, []Region{{ID: 1, Base: 0, Size: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Mesh.Router() != "vc" {
+		t.Fatalf("router = %q, want vc", env.Mesh.Router())
+	}
+}
+
 func TestEnvTopologyThreadsThrough(t *testing.T) {
 	cfg := Default().Scaled(64)
 	cfg.Topology = "ring"

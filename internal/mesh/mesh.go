@@ -42,7 +42,7 @@ type Config struct {
 	Width, Height int    // tiles in X and Y (the ring linearizes them)
 	Topology      string // "mesh" (default), "ring", or "torus"
 	Router        string // "ideal" (default) or "vc"
-	VCs           int    // vc router: virtual channels per input port (default 2, min 2)
+	VCs           int    // vc router: virtual channels per input port (default 2; must be even >= 2 for the dateline class split)
 	VCDepth       int    // vc router: flit buffer depth per VC (default 4)
 	LinkLatency   int64  // cycles for a flit to traverse one link
 	LocalLatency  int64  // cycles for a same-tile (0-hop) delivery

@@ -49,6 +49,28 @@ func TestRouterRegistry(t *testing.T) {
 // A single flit through an idle vc network pays exactly one allocation
 // cycle at injection plus LinkLatency per hop: hops*L + 1, one cycle more
 // than the ideal router's hops*L.
+// Regression for the silent dateline imbalance: an odd VC count used to
+// be accepted and split unevenly between the two dateline classes. The vc
+// router now refuses to construct (user input is validated earlier by
+// memsys.Config.Validate; reaching New with a bad count is a bug).
+func TestVCOddCountPanics(t *testing.T) {
+	for _, vcs := range []int{1, 3, 5, -2} {
+		vcs := vcs
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("VCs=%d accepted; want panic on the uneven dateline split", vcs)
+				}
+			}()
+			New(&sim.Kernel{}, Config{Width: 2, Height: 2, Router: "vc", VCs: vcs, LinkLatency: 1})
+		}()
+	}
+	// Even counts and the zero default still construct.
+	for _, vcs := range []int{0, 2, 6} {
+		New(&sim.Kernel{}, Config{Width: 2, Height: 2, Router: "vc", VCs: vcs, LinkLatency: 1})
+	}
+}
+
 func TestVCUncontendedSingleFlitLatency(t *testing.T) {
 	k, m, delivered := newRouterTest(t, "vc", "mesh", 4, 4)
 	m.Send(0, 15, 1, nil) // 6 hops

@@ -31,6 +31,8 @@ package mesh
 // broken exactly as in the classic dateline scheme. Meshes never wrap and
 // simply use class 0.
 
+import "fmt"
+
 const (
 	defaultVCs     = 2
 	defaultVCDepth = 4
@@ -91,8 +93,16 @@ type vcRouter struct {
 
 func newVCRouter(m *Mesh) *vcRouter {
 	vcs := m.cfg.VCs
-	if vcs < 2 {
-		vcs = defaultVCs // the dateline scheme needs two classes
+	if vcs == 0 {
+		vcs = defaultVCs
+	}
+	// The dateline scheme splits the VCs into two equal classes; an odd
+	// count would silently short class 0 (e.g. VCs=3 -> classes of 1 and
+	// 2), skewing fairness and the torus deadlock margin. User-facing
+	// paths validate via memsys.Config.Validate; reaching here with a bad
+	// count is a programmer error, same as an unknown topology in New.
+	if vcs < 2 || vcs%2 != 0 {
+		panic(fmt.Sprintf("mesh: VCs = %d; the dateline split needs an even count >= 2", m.cfg.VCs))
 	}
 	depth := m.cfg.VCDepth
 	if depth <= 0 {

@@ -12,7 +12,7 @@ import (
 // TestDeadlockDiagnostics is a development aid: on deadlock it prints the
 // protocol's in-flight state. It passes when the system runs clean.
 func TestDeadlockDiagnostics(t *testing.T) {
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	env, err := memsys.NewEnv(testConfig(), prog.FootprintBytes(), prog.Regions())
 	if err != nil {
 		t.Fatal(err)

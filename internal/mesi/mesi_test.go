@@ -185,9 +185,9 @@ func TestAllWorkloadsOracleMMemL1(t *testing.T) {
 func TestMMemL1EliminatesStoreL2Data(t *testing.T) {
 	// §5.2.2: MMemL1 prevents data returned on an L2 write miss from
 	// going to the L2, eliminating "Resp L2" store traffic.
-	prog := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, mesi.Options{})
-	prog2 := workloads.ByName("FFT", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("FFT", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, mesi.Options{MemToL1: true})
 
 	baseL2 := envA.Traffic.Get(memsys.ClassST, memsys.BRespL2Used) +
@@ -203,9 +203,9 @@ func TestMMemL1EliminatesStoreL2Data(t *testing.T) {
 }
 
 func TestMMemL1ReducesTraffic(t *testing.T) {
-	prog := workloads.ByName("radix", workloads.Tiny, 16)
+	prog := workloads.MustByName("radix", workloads.Tiny, 16)
 	envA, _, _ := runProgram(t, prog, mesi.Options{})
-	prog2 := workloads.ByName("radix", workloads.Tiny, 16)
+	prog2 := workloads.MustByName("radix", workloads.Tiny, 16)
 	envB, _, _ := runProgram(t, prog2, mesi.Options{MemToL1: true})
 	if envB.Traffic.Total() >= envA.Traffic.Total() {
 		t.Fatalf("MMemL1 (%.0f) did not reduce traffic vs MESI (%.0f)",
@@ -215,7 +215,7 @@ func TestMMemL1ReducesTraffic(t *testing.T) {
 
 func TestOverheadBreakdownShape(t *testing.T) {
 	// §5.2.4: unblock messages dominate MESI overhead.
-	prog := workloads.ByName("LU", workloads.Tiny, 16)
+	prog := workloads.MustByName("LU", workloads.Tiny, 16)
 	env, _, _ := runProgram(t, prog, mesi.Options{})
 	unblock := env.Traffic.Get(memsys.ClassOVH, memsys.BOvhUnblock)
 	total := env.Traffic.ClassTotal(memsys.ClassOVH)

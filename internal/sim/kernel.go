@@ -36,10 +36,11 @@ func (h eventHeap) peek() (int64, bool) { // earliest timestamp
 
 // Kernel is a discrete-event scheduler. The zero value is ready to use.
 type Kernel struct {
-	pq    eventHeap
-	now   int64
-	seq   uint64
-	steps uint64
+	pq      eventHeap
+	now     int64
+	seq     uint64
+	steps   uint64
+	clamped uint64
 }
 
 // Now returns the current simulated cycle.
@@ -53,14 +54,21 @@ func (k *Kernel) Pending() int { return len(k.pq) }
 
 // At schedules fn to run at absolute cycle t. Scheduling in the past is an
 // error in component logic; the kernel clamps it to "now" so that a bug
-// cannot move time backwards.
+// cannot move time backwards, and counts the clamp so the error cannot
+// hide — Clamped is surfaced in the driver's debug stats and asserted
+// zero by the regression suite.
 func (k *Kernel) At(t int64, fn func()) {
 	if t < k.now {
 		t = k.now
+		k.clamped++
 	}
 	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
 	k.seq++
 }
+
+// Clamped returns how many events were scheduled in the past and clamped
+// to "now". Any nonzero value marks a component-logic bug.
+func (k *Kernel) Clamped() uint64 { return k.clamped }
 
 // After schedules fn to run d cycles from now.
 func (k *Kernel) After(d int64, fn func()) { k.At(k.now+d, fn) }

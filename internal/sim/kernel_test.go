@@ -71,6 +71,24 @@ func TestPastSchedulingClamped(t *testing.T) {
 	if fired != 10 {
 		t.Fatalf("past event fired at %d, want clamp to 10", fired)
 	}
+	if k.Clamped() != 1 {
+		t.Fatalf("Clamped = %d, want 1: past scheduling must be counted, not silent", k.Clamped())
+	}
+}
+
+// Regression for the silent-clamp bug: well-behaved schedules (present and
+// future timestamps only, including t == now) must never bump the counter.
+func TestClampedZeroForValidSchedules(t *testing.T) {
+	var k Kernel
+	k.At(5, func() {
+		k.At(k.Now(), func() {}) // t == now is legal, not a clamp
+		k.After(0, func() {})
+		k.After(7, func() {})
+	})
+	k.Run()
+	if k.Clamped() != 0 {
+		t.Fatalf("Clamped = %d, want 0 for a valid schedule", k.Clamped())
+	}
 }
 
 func TestRunUntil(t *testing.T) {

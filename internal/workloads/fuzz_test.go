@@ -7,6 +7,13 @@ import (
 	"repro/internal/memsys"
 )
 
+// fuzzSpecs lists the workloads the DRF fuzz target can draw: the six
+// ported benchmarks and every registry workload (synthetic defaults and
+// preset variants), so odd thread counts stress the pattern partner maps
+// (transpose on non-squares, bitcomp on non-powers-of-two, prodcons
+// remainder groups) as hard as the benchmarks.
+func fuzzSpecs() []string { return RegistryWorkloads() }
+
 // FuzzWorkloadDRF fuzzes the two properties the experiment engine builds
 // on: EmitOps is pure (repeated calls over the same frozen program state
 // emit identical streams — including calls racing from many goroutines,
@@ -16,18 +23,18 @@ import (
 // under testdata/fuzz seeds every benchmark at both thread-count
 // extremes.
 func FuzzWorkloadDRF(f *testing.F) {
-	for i := range Names() {
+	for i := range fuzzSpecs() {
 		f.Add(i, 16)
 		f.Add(i, 1)
 	}
 	f.Add(3, 7) // radix on a non-power-of-two thread count
 	f.Fuzz(func(t *testing.T, benchIdx, threadsRaw int) {
-		names := Names()
+		names := fuzzSpecs()
 		name := names[((benchIdx%len(names))+len(names))%len(names)]
 		threads := ((threadsRaw%16)+16)%16 + 1
-		p := ByName(name, Tiny, threads)
-		if p == nil {
-			t.Fatalf("ByName(%q) = nil", name)
+		p, err := ByName(name, Tiny, threads)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
 		}
 		if p.Threads() != threads {
 			t.Fatalf("%s: %d threads, want %d", name, p.Threads(), threads)

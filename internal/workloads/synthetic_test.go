@@ -1,0 +1,246 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+// ownerOf maps an address in a synthetic program's data region back to the
+// owning thread (the line-interleaving invariant the patterns build on).
+func ownerOf(s *synthetic, addr uint32) int {
+	line := int((addr - s.lay.base(s.data)) / memsys.LineBytes)
+	return line % s.threads
+}
+
+func buildSynthetic(t *testing.T, spec string) *synthetic {
+	t.Helper()
+	p := MustByName(spec, Tiny, 16)
+	s, ok := p.(*synthetic)
+	if !ok {
+		t.Fatalf("%s did not build a synthetic program", spec)
+	}
+	return s
+}
+
+// consumedOwners returns the set of owners thread th reads from during
+// consume phases.
+func consumedOwners(s *synthetic, th int) map[int]bool {
+	owners := map[int]bool{}
+	for p := 2; p < s.Phases(); p += 2 {
+		for _, op := range collect(s, p, th) {
+			if op.Kind == memsys.OpLoad {
+				owners[ownerOf(s, op.Addr)] = true
+			}
+		}
+	}
+	return owners
+}
+
+func TestSyntheticProduceWritesOwnLinesOnly(t *testing.T) {
+	for _, spec := range []string{"uniform", "transpose", "bitcomp", "hotspot", "neighbor", "prodcons"} {
+		s := buildSynthetic(t, spec)
+		for p := 1; p < s.Phases(); p += 2 {
+			for th := 0; th < s.threads; th++ {
+				for _, op := range collect(s, p, th) {
+					if op.Kind != memsys.OpStore {
+						continue
+					}
+					if got := ownerOf(s, op.Addr); got != th {
+						t.Fatalf("%s phase %d: thread %d wrote a line owned by %d", spec, p, th, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeMapping(t *testing.T) {
+	s := buildSynthetic(t, "transpose")
+	// 16 threads on a 4x4 arrangement: thread r*4+c consumes from c*4+r.
+	for th := 0; th < 16; th++ {
+		want := (th%4)*4 + th/4
+		owners := consumedOwners(s, th)
+		if len(owners) != 1 || !owners[want] {
+			t.Fatalf("thread %d consumes from %v, want {%d}", th, owners, want)
+		}
+	}
+}
+
+func TestBitcompMapping(t *testing.T) {
+	s := buildSynthetic(t, "bitcomp")
+	for th := 0; th < 16; th++ {
+		want := ^th & 15
+		owners := consumedOwners(s, th)
+		if len(owners) != 1 || !owners[want] {
+			t.Fatalf("thread %d consumes from %v, want {%d}", th, owners, want)
+		}
+	}
+}
+
+func TestNeighborMapping(t *testing.T) {
+	s := buildSynthetic(t, "neighbor")
+	for th := 0; th < 16; th++ {
+		owners := consumedOwners(s, th)
+		if len(owners) != 1 || !owners[(th+1)%16] {
+			t.Fatalf("thread %d consumes from %v, want {%d}", th, owners, (th+1)%16)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	for _, c := range []struct {
+		spec string
+		hot  int
+	}{{"hotspot", 4}, {"hotspot(t=1)", 1}, {"hotspot(t=8)", 8}} {
+		s := buildSynthetic(t, c.spec)
+		for th := 0; th < s.threads; th++ {
+			for o := range consumedOwners(s, th) {
+				if o >= c.hot {
+					t.Fatalf("%s: thread %d consumed from cold owner %d", c.spec, th, o)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformSpreadsAcrossOwners(t *testing.T) {
+	s := buildSynthetic(t, "uniform")
+	owners := map[int]bool{}
+	for th := 0; th < s.threads; th++ {
+		for o := range consumedOwners(s, th) {
+			owners[o] = true
+		}
+	}
+	if len(owners) < s.threads/2 {
+		t.Fatalf("uniform touches only %d of %d owners", len(owners), s.threads)
+	}
+}
+
+func TestProdconsRoles(t *testing.T) {
+	s := buildSynthetic(t, "prodcons") // groups=4 over 16 threads: groups of 4, 2 produce + 2 consume
+	producers, consumers := 0, 0
+	for th := 0; th < s.threads; th++ {
+		writes, reads := false, false
+		for p := 1; p < s.Phases(); p++ {
+			for _, op := range collect(s, p, th) {
+				switch op.Kind {
+				case memsys.OpStore:
+					writes = true
+				case memsys.OpLoad:
+					reads = true
+				}
+			}
+		}
+		if writes && reads {
+			t.Fatalf("thread %d both produces and consumes", th)
+		}
+		if writes {
+			producers++
+		}
+		if reads {
+			consumers++
+		}
+	}
+	if producers != 8 || consumers != 8 {
+		t.Fatalf("producers=%d consumers=%d, want 8/8", producers, consumers)
+	}
+	// Consumers read only within their own group's producers.
+	for th := 0; th < s.threads; th++ {
+		for o := range consumedOwners(s, th) {
+			if o/4 != th/4 {
+				t.Fatalf("thread %d (group %d) consumed from thread %d (group %d)", th, th/4, o, o/4)
+			}
+			if !s.writer[o] {
+				t.Fatalf("thread %d consumed from non-producer %d", th, o)
+			}
+		}
+	}
+}
+
+// The injection-rate parameter must control the compute gap: a lower rate
+// inserts strictly more compute cycles into the same op structure.
+func TestInjectionRateControlsGap(t *testing.T) {
+	slow := MustByName("uniform(p=0.01)", Tiny, 16)
+	fast := MustByName("uniform(p=0.5)", Tiny, 16)
+	cycles := func(p memsys.Program) int64 {
+		var sum int64
+		for ph := 1; ph < p.Phases(); ph++ {
+			for th := 0; th < p.Threads(); th++ {
+				for _, op := range collect(p, ph, th) {
+					if op.Kind == memsys.OpCompute {
+						sum += int64(op.Cycles)
+					}
+				}
+			}
+		}
+		return sum
+	}
+	if cycles(slow) <= cycles(fast)*10 {
+		t.Fatalf("p=0.01 emits %d compute cycles, p=0.5 emits %d; rate knob inert", cycles(slow), cycles(fast))
+	}
+}
+
+// Consumers read only half of each fetched line, so under MESI the fetch
+// must show attributable waste — the point of running patterns through
+// the full waste methodology rather than raw packet injection.
+func TestSyntheticConsumeReadsHalfLines(t *testing.T) {
+	s := buildSynthetic(t, "neighbor")
+	for p := 2; p < s.Phases(); p += 2 {
+		for th := 0; th < s.threads; th++ {
+			perLine := map[uint32]int{}
+			for _, op := range collect(s, p, th) {
+				if op.Kind == memsys.OpLoad {
+					perLine[memsys.LineOf(op.Addr)]++
+				}
+			}
+			for line, n := range perLine {
+				if n != synthReadWords {
+					t.Fatalf("phase %d thread %d line %#x: %d words read, want %d", p, th, line, n, synthReadWords)
+				}
+			}
+		}
+	}
+}
+
+// Odd thread counts exercise the fallback partner maps; the patterns must
+// stay DRF and in-footprint there too (the fuzz target covers this
+// continuously; this is the deterministic regression).
+func TestSyntheticOddThreadCounts(t *testing.T) {
+	for _, spec := range []string{"uniform", "transpose", "bitcomp", "hotspot", "neighbor", "prodcons"} {
+		for _, threads := range []int{1, 3, 7, 15} {
+			p := MustByName(spec, Tiny, threads)
+			fp := p.FootprintBytes()
+			for ph := 0; ph < p.Phases(); ph++ {
+				for th := 0; th < threads; th++ {
+					for _, op := range collect(p, ph, th) {
+						if op.Kind != memsys.OpCompute && op.Addr >= fp {
+							t.Fatalf("%s/%d: address %#x outside footprint", spec, threads, op.Addr)
+						}
+					}
+				}
+				// Per-phase DRF.
+				w := map[uint32]int{}
+				for th := 0; th < threads; th++ {
+					for _, op := range collect(p, ph, th) {
+						if op.Kind == memsys.OpStore {
+							if prev, ok := w[op.Addr]; ok && prev != th {
+								t.Fatalf("%s/%d phase %d: %#x written by %d and %d", spec, threads, ph, op.Addr, prev, th)
+							}
+							w[op.Addr] = th
+						}
+					}
+				}
+				for th := 0; th < threads; th++ {
+					for _, op := range collect(p, ph, th) {
+						if op.Kind == memsys.OpLoad {
+							if prev, ok := w[op.Addr]; ok && prev != th {
+								t.Fatalf("%s/%d phase %d: %#x written by %d, read by %d", spec, threads, ph, op.Addr, prev, th)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

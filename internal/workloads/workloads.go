@@ -1,16 +1,22 @@
-// Package workloads implements the paper's six benchmarks (Table 4.2) as
-// deterministic memory-reference generators: FFT, LU, radix and Barnes-Hut
-// from SPLASH-2, fluidanimate from PARSEC (modified to the ghost-cell
-// pattern), and parallel SAH kD-tree construction.
+// Package workloads is the parameterized workload registry: the paper's
+// six benchmarks (Table 4.2) as deterministic memory-reference
+// generators, the standard NoC synthetic traffic patterns (uniform,
+// transpose, bitcomp, hotspot, neighbor, prodcons — spec.go,
+// synthetic.go), and replay of recorded op-stream traces (replay.go,
+// internal/trace). Specs resolve through ByName/ParseSpec as
+// "name(key=value,...)" strings with loud errors for unknown input.
 //
-// The original study ran the real binaries on a full-system simulator;
-// here each benchmark is a synthetic kernel that reproduces the access
-// patterns the paper attributes its results to (see DESIGN.md): phase
-// structure separated by barriers, per-thread working sets, element
-// layouts with per-phase-unused fields, streaming read-once regions,
-// scattered permutation writes, and read-then-overwrite accumulators.
-// Every generator is data-race free across threads within a phase (the
-// property DeNovo requires), which the package tests verify.
+// The benchmarks are FFT, LU, radix and Barnes-Hut from SPLASH-2,
+// fluidanimate from PARSEC (modified to the ghost-cell pattern), and
+// parallel SAH kD-tree construction. The original study ran the real
+// binaries on a full-system simulator; here each benchmark is a
+// synthetic kernel that reproduces the access patterns the paper
+// attributes its results to (see DESIGN.md): phase structure separated
+// by barriers, per-thread working sets, element layouts with
+// per-phase-unused fields, streaming read-once regions, scattered
+// permutation writes, and read-then-overwrite accumulators. Every
+// program in the registry is data-race free across threads within a
+// phase (the property DeNovo requires), which the package tests verify.
 package workloads
 
 import (
@@ -55,8 +61,9 @@ func (s Size) String() string {
 	return fmt.Sprintf("Size(%d)", int(s))
 }
 
-// benchmarks is the single source of truth for the six programs, in the
-// paper's figure order: Names, Catalog and ByName all derive from it.
+// benchmarks is the single source of truth for the six ported programs,
+// in the paper's figure order: Names, Catalog and the registry entries in
+// spec.go all derive from it.
 var benchmarks = []struct {
 	name string
 	ctor func(Size, int) memsys.Program
@@ -79,20 +86,9 @@ func Catalog(size Size, threads int) []memsys.Program {
 	return progs
 }
 
-// ByName constructs just the named benchmark, or returns nil for unknown
-// names. Unlike Catalog it does not build (and freeze the state of) the
-// other five programs on the way — callers resolving one benchmark at a
-// time, like the experiment engine and the CLI, pay for exactly one.
-func ByName(name string, size Size, threads int) memsys.Program {
-	for _, b := range benchmarks {
-		if b.name == name {
-			return b.ctor(size, threads)
-		}
-	}
-	return nil
-}
-
-// Names lists the benchmark names in the paper's figure order.
+// Names lists the ported benchmark names in the paper's figure order.
+// The full registry — benchmarks plus synthetic patterns and the trace
+// replayer — is SpecNames (spec.go); resolve any of them with ByName.
 func Names() []string {
 	names := make([]string, len(benchmarks))
 	for i, b := range benchmarks {

@@ -2,12 +2,25 @@ package workloads
 
 import (
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/memsys"
 )
 
 func tinyCatalog() []memsys.Program { return Catalog(Tiny, 16) }
+
+// registryTinyPrograms builds every registry workload — the six ported
+// benchmarks, the synthetic patterns at their defaults, and the preset
+// parameter variants — so the generic Program-contract tests cover the
+// synthetic axis with the same rigor as the benchmarks.
+func registryTinyPrograms() []memsys.Program {
+	var out []memsys.Program
+	for _, spec := range RegistryWorkloads() {
+		out = append(out, MustByName(spec, Tiny, 16))
+	}
+	return out
+}
 
 func collect(p memsys.Program, phase, thread int) []memsys.Op {
 	var ops []memsys.Op
@@ -26,20 +39,24 @@ func TestCatalogNamesAndOrder(t *testing.T) {
 			t.Errorf("catalog[%d] = %q, want %q", i, p.Name(), names[i])
 		}
 	}
-	if ByName("radix", Tiny, 16) == nil || ByName("nope", Tiny, 16) != nil {
-		t.Fatal("ByName broken")
+	if _, err := ByName("radix", Tiny, 16); err != nil {
+		t.Fatalf("ByName(radix): %v", err)
+	}
+	if _, err := ByName("nope", Tiny, 16); err == nil {
+		t.Fatal("ByName(nope) did not error")
 	}
 }
 
-// ByName's dispatch must cover exactly Names(): every listed name
-// constructs a program reporting that name, the result agrees with the
-// Catalog entry at the same position, and anything else returns nil.
+// ByName's dispatch must cover Names(): every listed name constructs a
+// program reporting that name, the result agrees with the Catalog entry
+// at the same position, and anything else is a loud error (regression for
+// the silent nil return that let callers deref or skip unknown names).
 func TestByNameCoversExactlyNames(t *testing.T) {
 	catalog := tinyCatalog()
 	for i, name := range Names() {
-		p := ByName(name, Tiny, 16)
-		if p == nil {
-			t.Fatalf("ByName(%q) = nil for a listed benchmark", name)
+		p, err := ByName(name, Tiny, 16)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
 		}
 		if p.Name() != name {
 			t.Fatalf("ByName(%q) built %q", name, p.Name())
@@ -48,15 +65,19 @@ func TestByNameCoversExactlyNames(t *testing.T) {
 			t.Fatalf("ByName(%q) disagrees with Catalog[%d]", name, i)
 		}
 	}
-	for _, bogus := range []string{"", "fft", "lu", "Radix", "kdtree", "nope"} {
-		if ByName(bogus, Tiny, 16) != nil {
-			t.Fatalf("ByName(%q) constructed a program for an unlisted name", bogus)
+	for _, bogus := range []string{"", "fft", "lu", "Radix", "kdtree", "nope", "FTT"} {
+		p, err := ByName(bogus, Tiny, 16)
+		if err == nil {
+			t.Fatalf("ByName(%q) = %v, want a loud unknown-benchmark error", bogus, p)
+		}
+		if !strings.Contains(err.Error(), "unknown benchmark") {
+			t.Fatalf("ByName(%q) error %q does not name the failure", bogus, err)
 		}
 	}
 }
 
 func TestAllProgramsBasicContract(t *testing.T) {
-	for _, p := range tinyCatalog() {
+	for _, p := range registryTinyPrograms() {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			if p.Threads() != 16 {
@@ -96,7 +117,7 @@ func TestAllProgramsBasicContract(t *testing.T) {
 }
 
 func TestAddressesInFootprintAndAligned(t *testing.T) {
-	for _, p := range tinyCatalog() {
+	for _, p := range registryTinyPrograms() {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			fp := p.FootprintBytes()
@@ -121,7 +142,7 @@ func TestAddressesInFootprintAndAligned(t *testing.T) {
 
 func TestDeterministicEmission(t *testing.T) {
 	for _, name := range Names() {
-		a, b := ByName(name, Tiny, 16), ByName(name, Tiny, 16)
+		a, b := MustByName(name, Tiny, 16), MustByName(name, Tiny, 16)
 		for ph := 0; ph < a.Phases(); ph++ {
 			for th := 0; th < a.Threads(); th++ {
 				oa, ob := collect(a, ph, th), collect(b, ph, th)
@@ -141,7 +162,7 @@ func TestDeterministicEmission(t *testing.T) {
 // TestDataRaceFreedom verifies the DeNovo prerequisite: within any phase,
 // an address written by one thread is neither read nor written by another.
 func TestDataRaceFreedom(t *testing.T) {
-	for _, p := range tinyCatalog() {
+	for _, p := range registryTinyPrograms() {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			for ph := 0; ph < p.Phases(); ph++ {
@@ -201,7 +222,7 @@ func TestDataRaceFreedom(t *testing.T) {
 
 func TestWorkDistribution(t *testing.T) {
 	// Parallel phases must involve most threads (not everything on thread 0).
-	for _, p := range tinyCatalog() {
+	for _, p := range registryTinyPrograms() {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			parallelPhases := 0
@@ -383,11 +404,11 @@ func TestSpanCoversAll(t *testing.T) {
 }
 
 func TestSizesGrowMonotonically(t *testing.T) {
-	for _, name := range Names() {
-		tiny := ByName(name, Tiny, 16).FootprintBytes()
-		small := ByName(name, Small, 16).FootprintBytes()
+	for _, spec := range RegistryWorkloads() {
+		tiny := MustByName(spec, Tiny, 16).FootprintBytes()
+		small := MustByName(spec, Small, 16).FootprintBytes()
 		if small <= tiny {
-			t.Errorf("%s: small footprint %d <= tiny %d", name, small, tiny)
+			t.Errorf("%s: small footprint %d <= tiny %d", spec, small, tiny)
 		}
 	}
 }

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Regenerate the benchmark trajectory snapshot (BENCH_pr3.json).
+# Regenerate the benchmark trajectory snapshot (BENCH_pr4.json).
 #
 # One iteration per benchmark (-benchtime=1x): the headline values are the
 # reported custom metrics — percent-of-MESI figure stacks over the
 # Small-scale 9x6 matrix, flit-hops/cycles for the Tiny ablations — which
 # are fully deterministic. Wall-clock ns/op is recorded but is environment
-# noise; compare metrics, not times, across commits.
+# noise; compare metrics, not times, across commits. The Tiny synthetic-
+# pattern benches (BenchmarkAblationSynthetic*, trace replay) track the
+# PR 4 workload axis alongside the figure stacks.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 go test -bench=. -benchmem -benchtime=1x -run '^$' -timeout 60m . \
   | tee /dev/stderr \
   | go run ./scripts/benchjson > "$out"
