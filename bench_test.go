@@ -244,6 +244,55 @@ func BenchmarkAblationSyntheticHotspotDeNovo(b *testing.B) {
 	ablationRun(b, "DeNovo", "hotspot(t=1)", nil)
 }
 
+// --- Sweep benches (the PR 5 third axis) ---
+//
+// One assembled curve per bench: the Tiny hotspot concentration sweep
+// (the golden sweep's shape) and a vc-router injection-rate sweep. The
+// reported metrics are the curve's endpoints — traffic and mean packet
+// latency at the lightest and heaviest point — so the trajectory tracks
+// the curve shape, not just one operating point.
+func sweepBench(b *testing.B, opt core.MatrixOptions, spec string) {
+	b.Helper()
+	var table *core.SweepTable
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunSweep(opt, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = res.Table()
+	}
+	// Endpoints of one protocol's curve (the first listed), so first-vs-last
+	// deltas measure the load axis, not a protocol difference.
+	proto := table.Rows[0].Protocol
+	var curve []core.SweepRow
+	for _, r := range table.Rows {
+		if r.Protocol == proto {
+			curve = append(curve, r)
+		}
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	b.ReportMetric(float64(len(table.Rows)), "rows")
+	b.ReportMetric(first.Values[0], "first_flit-hops")
+	b.ReportMetric(last.Values[0], "last_flit-hops")
+	b.ReportMetric(first.Values[2], "first_mean_lat")
+	b.ReportMetric(last.Values[2], "last_mean_lat")
+}
+
+func BenchmarkSweepHotspotConcentration(b *testing.B) {
+	sweepBench(b, core.MatrixOptions{
+		Size:      workloads.Tiny,
+		Protocols: []string{"MESI", "DeNovo"},
+	}, "hotspot(t=1,2,4,8,16)")
+}
+
+func BenchmarkSweepUniformLoadVC(b *testing.B) {
+	sweepBench(b, core.MatrixOptions{
+		Size:      workloads.Tiny,
+		Router:    "vc",
+		Protocols: []string{"MESI"},
+	}, "uniform(p=0.02..0.1..0.04)")
+}
+
 // Trace replay overhead: replaying a recorded FFT trace must cost the
 // same simulated work as the live program (the recorded stream is
 // bit-identical); the bench pins the replay path's throughput.

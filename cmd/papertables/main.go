@@ -1,6 +1,8 @@
-// Command papertables prints the paper's configuration tables: Table 4.1
-// (simulated system parameters) and Table 4.2 (application input sizes),
-// for each supported input scale.
+// Command papertables prints the paper's configuration tables — Table 4.1
+// (simulated system parameters) and Table 4.2 (application input sizes) —
+// plus the inventories of every registry axis the scenario space is built
+// from: NoC topologies, router models, protocol specs, workload specs,
+// and the sweepable axes trafficsim -sweep turns into curve tables.
 package main
 
 import (
@@ -97,6 +99,26 @@ func main() {
 	fmt.Println("\n  Preset parameter variants (counted in the scenario space):")
 	for _, spec := range workloads.PresetVariants() {
 		fmt.Printf("    %s\n", spec)
+	}
+
+	fmt.Println("\nSweep axes (trafficsim -sweep; one assembled curve table per sweep)")
+	fmt.Printf("  %-10s %-20s %s\n", "axis", "values", "description")
+	for _, a := range core.SweepAxisCatalog() {
+		vals := strings.Join(a.Values, ",")
+		if vals == "" {
+			vals = a.Hint
+		}
+		fmt.Printf("  %-10s %-20s %s\n", a.Name, vals, a.Desc)
+	}
+	fmt.Println("  Any numeric parameter in the workload registry above sweeps too,")
+	fmt.Println("  as a range (lo..hi[..step]) or a value list:")
+	for _, ex := range []string{
+		"trafficsim -sweep 'hotspot(t=1..16)'            # saturation vs hot-tile concentration",
+		"trafficsim -sweep 'uniform(p=0.01..0.09..0.02)' # load-latency curve vs injection rate",
+		"trafficsim -sweep 'hotspot(t=1,2,4,p=0.1)'      # value list, fixed co-parameter",
+		"trafficsim -sweep vcs=2,4,8 -router vc          # buffer ablation on the vc router",
+	} {
+		fmt.Printf("    %s\n", ex)
 	}
 
 	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")

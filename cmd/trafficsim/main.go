@@ -1,13 +1,18 @@
 // Command trafficsim reruns the paper's experiments and prints its figure
 // tables: the protocol x benchmark traffic/time/waste matrices of Figures
-// 5.1a-d, 5.2 and 5.3a-c, plus the headline paper-vs-measured summary.
+// 5.1a-d, 5.2 and 5.3a-c, the congestion telemetry table, the headline
+// paper-vs-measured summary, and — with -sweep — assembled load-latency /
+// waste-vs-load curve tables over a third parameter axis.
 //
 // Protocols are resolved through the composable registry: canonical paper
 // names (MESI ... DBypFull) or base+Option specs such as DeNovo+BypL2 or
 // DFlexL1+BypFull. Benchmarks are workload-registry specs: the paper's six
 // ported benchmarks, synthetic traffic patterns with optional parameters
 // (uniform, transpose, bitcomp, hotspot, neighbor, prodcons), or recorded
-// traces (see cmd/papertables for both inventories).
+// traces. Sweeps are "axis=value,value,..." over an engine axis (topology,
+// router, vcs, vcdepth, threads, protocol) or "family(key=lo..hi)" over a
+// workload parameter (see cmd/papertables for all inventories, and
+// docs/GUIDE.md for a walkthrough).
 //
 // Examples:
 //
@@ -21,6 +26,9 @@
 //	trafficsim -fig net -router vc -benchmarks 'uniform(p=0.1),hotspot(t=2),transpose'
 //	trafficsim -record /tmp/fft.trc -benchmarks FFT -size tiny
 //	trafficsim -fig 5.1a -benchmarks 'replay(file=/tmp/fft.trc)'
+//	trafficsim -sweep 'hotspot(t=1..16)' -size tiny -protocols MESI,DeNovo,DBypFull
+//	trafficsim -sweep 'uniform(p=0.01..0.09..0.02)' -router vc
+//	trafficsim -sweep topology=mesh,ring,torus -benchmarks FFT
 package main
 
 import (
@@ -30,27 +38,46 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mesh"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
+// The -help text enumerates valid names from the registries themselves, so
+// it can never drift from what the parsers accept (the hand-maintained
+// lists had already gone stale once).
 func main() {
-	fig := flag.String("fig", "", "figure to print: 5.1a 5.1b 5.1c 5.1d 5.2 5.3a 5.3b 5.3c net, or 'all'")
+	fig := flag.String("fig", "", "figure to print: "+strings.Join(core.FigureIDs(), " ")+", or 'all'")
 	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
-	protoCSV := flag.String("protocols", "", "comma-separated protocol specs: canonical names or base+Option compositions, e.g. MESI,DeNovo+BypL2 (default: the paper's nine)")
-	benchCSV := flag.String("benchmarks", "", "comma-separated workload specs: benchmark names, synthetic patterns like uniform(p=0.1) or hotspot(t=2), or replay(file=x.trc) (default: the paper's six)")
+	protoCSV := flag.String("protocols", "", "comma-separated protocol specs: canonical names ("+
+		strings.Join(core.ProtocolNames(), ", ")+", DBypHW) or base+Option compositions with options "+
+		optionTokens()+" (default: the paper's nine)")
+	benchCSV := flag.String("benchmarks", "", "comma-separated workload specs, name(key=value,...) over: "+
+		strings.Join(workloads.SpecNames(), ", ")+" (default: the paper's six)")
+	sweep := flag.String("sweep", "", "sweep one axis and print the assembled curve table: 'axis=v1,v2,...' over "+
+		strings.Join(core.SweepAxisNames(), "|")+", or a workload parameter range like 'hotspot(t=1..16)'")
 	record := flag.String("record", "", "record the single workload in -benchmarks to this trace file and exit (run it later with replay(file=...))")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
-	topology := flag.String("topology", "mesh", "NoC topology: mesh, ring, torus")
-	router := flag.String("router", "ideal", "router model: ideal (injection-time reservation), vc (cycle-level VC wormhole)")
+	topology := flag.String("topology", "mesh", "NoC topology: "+strings.Join(mesh.TopologyKinds(), ", "))
+	router := flag.String("router", "ideal", "router model: "+routerHelp())
+	vcs := flag.Int("vcs", 0, "vc router: virtual channels per input port (0 = model default; even, >= 2)")
+	vcdepth := flag.Int("vcdepth", 0, "vc router: flit buffer depth per VC (0 = model default)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	if *fig == "" && !*summary && *record == "" {
+	if *fig == "" && !*summary && *record == "" && *sweep == "" {
 		*fig = "all"
 		*summary = true
+	}
+	if *record != "" && (*sweep != "" || *fig != "" || *summary) {
+		fmt.Fprintln(os.Stderr, "-record only records a trace; drop -sweep/-fig/-summary (replay the trace in a later run)")
+		os.Exit(2)
+	}
+	if (*vcs != 0 || *vcdepth != 0) && *router != "vc" {
+		fmt.Fprintln(os.Stderr, "-vcs/-vcdepth configure the vc router and are dead under any other model; add -router vc")
+		os.Exit(2)
 	}
 
 	var size workloads.Size
@@ -109,7 +136,23 @@ func main() {
 		return
 	}
 
-	opt := core.MatrixOptions{Size: size, Threads: *threads, Topology: *topology, Router: *router, Workers: *workers}
+	// Only pin the axis knobs the user actually passed: the engine applies
+	// the same defaults (mesh, ideal, 16 threads) to zero values, and a
+	// sweep over an axis must be able to tell "defaulted" from "explicit"
+	// — sweeping topology with an explicit -topology is a conflict error,
+	// sweeping it against the default is the normal case.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	opt := core.MatrixOptions{Size: size, Workers: *workers, VCs: *vcs, VCDepth: *vcdepth}
+	if explicit["threads"] {
+		opt.Threads = *threads
+	}
+	if explicit["topology"] {
+		opt.Topology = *topology
+	}
+	if explicit["router"] {
+		opt.Router = *router
+	}
 	if *protoCSV != "" {
 		opt.Protocols = splitCSV(*protoCSV)
 	}
@@ -118,6 +161,46 @@ func main() {
 	}
 	if !*quiet {
 		opt.Progress = func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) }
+	}
+
+	if *sweep != "" {
+		if *fig != "" || *summary {
+			fmt.Fprintln(os.Stderr, "-sweep prints its own assembled table; drop -fig/-summary")
+			os.Exit(2)
+		}
+		// Fail fast before any simulation if the spec is malformed,
+		// collides with an explicitly pinned axis, or would be a no-op.
+		// RunSweep re-resolves the spec internally; the duplicate parse
+		// costs microseconds and buys usage errors their exit code 2.
+		s, err := core.ParseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := s.PointOptions(opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := core.RunSweep(opt, *sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The header states only the knobs that are actually pinned across
+		// the whole sweep — never the axis being swept (the conflict check
+		// above already rules out pinning that one explicitly).
+		var pins []string
+		if explicit["topology"] && s.Axis != "topology" {
+			pins = append(pins, "topology: "+*topology)
+		}
+		if explicit["router"] && s.Axis != "router" {
+			pins = append(pins, "router: "+*router)
+		}
+		if len(pins) > 0 {
+			fmt.Printf("NoC %s\n\n", strings.Join(pins, ", "))
+		}
+		fmt.Println(res.Table())
+		return
 	}
 
 	m, err := core.RunMatrix(opt)
@@ -143,6 +226,24 @@ func main() {
 	if *summary {
 		fmt.Println(m.Summarize())
 	}
+}
+
+// optionTokens renders the protocol option vocabulary for -help.
+func optionTokens() string {
+	var toks []string
+	for _, o := range core.OptionCatalog() {
+		toks = append(toks, o.Token)
+	}
+	return strings.Join(toks, "|")
+}
+
+// routerHelp renders the router inventory for -help.
+func routerHelp() string {
+	var parts []string
+	for _, kind := range mesh.RouterKinds() {
+		parts = append(parts, fmt.Sprintf("%s (%s)", kind, mesh.RouterDescription(kind)))
+	}
+	return strings.Join(parts, ", ")
 }
 
 func splitCSV(s string) []string {

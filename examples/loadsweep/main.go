@@ -1,0 +1,139 @@
+// Loadsweep: assemble the classic NoC load curve from the scenario space.
+// A hotspot(t=1..16) sweep concentrates all consumer traffic on t hot
+// tiles — t=16 is spread like uniform traffic, t=1 hammers a single L2
+// slice — and the assembled table shows how traffic, packet latency, link
+// heat and waste move along the axis for each protocol, the form the
+// paper's "are we there yet?" question is answered in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := flag.String("sweep", "hotspot(t=1..16)", "sweep spec: axis=v1,v2,... or workload(key=lo..hi)")
+	protoCSV := flag.String("protocols", "MESI,DeNovo,DBypFull", "comma-separated protocol specs (the curve family)")
+	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper")
+	topology := flag.String("topology", "mesh", "NoC topology")
+	router := flag.String("router", "ideal", "router model")
+	workers := flag.Int("workers", 0, "parallel simulations per point (0 = one per CPU)")
+	flag.Parse()
+
+	var size workloads.Size
+	switch *sizeName {
+	case "tiny":
+		size = workloads.Tiny
+	case "small":
+		size = workloads.Small
+	case "paper":
+		size = workloads.Paper
+	default:
+		log.Fatalf("unknown size %q", *sizeName)
+	}
+
+	// Pin topology/router only when passed explicitly, so engine-axis
+	// sweeps over them (-sweep topology=...) don't see a phantom conflict
+	// with the flag defaults.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	opt := core.MatrixOptions{
+		Size:     size,
+		Workers:  *workers,
+		Progress: func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) },
+	}
+	if explicit["topology"] {
+		opt.Topology = *topology
+	}
+	if explicit["router"] {
+		opt.Router = *router
+	}
+	// A protocol-axis sweep owns the protocol list: an explicitly passed
+	// -protocols is an error (matching trafficsim), and the flag's default
+	// is simply not applied. Otherwise apply the flag, normalized through
+	// the registry so spelling variants of one spec don't surprise anyone
+	// downstream.
+	parsed, err := core.ParseSweep(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if parsed.Axis == "protocol" && explicit["protocols"] {
+		log.Fatalf("sweep %q sets the protocol axis; drop the explicit -protocols list", parsed.Spec)
+	}
+	if parsed.Axis != "protocol" {
+		var protos []string
+		for _, p := range strings.Split(*protoCSV, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			v, err := core.ParseProtocol(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			protos = append(protos, v.Spec)
+		}
+		if len(protos) > 0 {
+			opt.Protocols = protos
+		}
+	}
+
+	res, err := core.RunSweep(opt, *spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := res.Table()
+	fmt.Println(table)
+
+	// The curve family comes from the assembled rows (already canonical),
+	// in first-appearance order — correct for protocol-axis sweeps too,
+	// where the protocol varies with the point.
+	var protos []string
+	seenProto := map[string]bool{}
+	for _, r := range table.Rows {
+		if !seenProto[r.Protocol] {
+			seenProto[r.Protocol] = true
+			protos = append(protos, r.Protocol)
+		}
+	}
+
+	// A terminal-width latency curve per protocol: the saturation shape at
+	// a glance, mean packet latency scaled to the sweep's worst point.
+	idx := -1
+	for i, c := range table.Columns {
+		if c == "MeanLat" {
+			idx = i
+		}
+	}
+	worst := 0.0
+	for _, r := range table.Rows {
+		if r.Values[idx] > worst {
+			worst = r.Values[idx]
+		}
+	}
+	if worst == 0 {
+		return
+	}
+	fmt.Printf("mean packet latency along %s (each bar scaled to the worst point, %.1f cycles):\n", res.Axis, worst)
+	for _, proto := range protos {
+		fmt.Printf("\n%s\n", proto)
+		for _, r := range table.Rows {
+			if r.Protocol != proto {
+				continue
+			}
+			// On a protocol-axis sweep the point is the protocol itself;
+			// the benchmark is what distinguishes the bars.
+			label := r.Point
+			if parsed.Axis == "protocol" {
+				label = r.Bench
+			}
+			lat := r.Values[idx]
+			fmt.Printf("  %-12s %-40s %6.2f\n", label, strings.Repeat("#", int(lat/worst*40+0.5)), lat)
+		}
+	}
+}

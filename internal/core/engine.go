@@ -95,6 +95,12 @@ func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
 	if opt.Router != "" {
 		cfg.Router = opt.Router
 	}
+	if opt.VCs != 0 {
+		cfg.VCs = opt.VCs
+	}
+	if opt.VCDepth != 0 {
+		cfg.VCDepth = opt.VCDepth
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

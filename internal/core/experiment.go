@@ -146,6 +146,13 @@ type MatrixOptions struct {
 	// Router selects the fabric's forwarding model for every cell:
 	// "ideal" (default) or "vc" (the cycle-level VC wormhole router).
 	Router string
+	// VCs overrides the vc router's virtual-channel count per input port
+	// for every cell (0 = the model default; must be even and >= 2, see
+	// memsys.Config.VCs).
+	VCs int
+	// VCDepth overrides the vc router's flit buffer depth per VC for every
+	// cell (0 = the model default).
+	VCDepth int
 	// Workers bounds the number of simulations running concurrently:
 	// 0 = one per available CPU (GOMAXPROCS), 1 = serial reference mode on
 	// the calling goroutine. Cells are independent simulations, so the

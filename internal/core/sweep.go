@@ -1,0 +1,693 @@
+package core
+
+// The third-axis sweep engine. RunMatrix crosses two axes — workloads x
+// protocols — and every other knob (topology, router, VC geometry, a
+// synthetic pattern's parameters) is a single value per run. A sweep
+// crosses one more: a SweepSpec names an axis and an ordered value list,
+// expands into one MatrixOptions per point, runs each point through the
+// sharded engine (inheriting its cancellation and bit-identical-at-any-
+// worker-count guarantees), and assembles the per-point results into one
+// table — the data behind the classic NoC load-latency saturation curves
+// and the paper's waste-vs-load question.
+//
+// Two spellings, mirroring the registries the axes come from:
+//
+//	topology=mesh,ring,torus     an engine axis with explicit values
+//	vcs=2..8..2                  a numeric engine axis as lo..hi..step
+//	protocol=MESI,DeNovo         one protocol per point (curve families)
+//	hotspot(t=1..16)             a workload-registry parameter sweep
+//	uniform(p=0.01..0.09..0.02)  a float parameter needs an explicit step
+//	hotspot(t=1,2,4,p=0.1)       value lists and fixed co-parameters mix
+//
+// In a workload sweep exactly one parameter carries multiple values; the
+// others are fixed for every point, and each expanded point is validated
+// through workloads.ParseSpec before anything runs.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/mesh"
+	"repro/internal/waste"
+	"repro/internal/workloads"
+)
+
+// sweepPointCap bounds a single sweep's expansion; a typo like
+// "uniform(p=0.0001..1..0.0001)" should fail loudly, not run for a week.
+const sweepPointCap = 256
+
+// SweepAxisInfo describes one engine-level sweep axis for the inventory
+// (cmd/papertables). Workload-parameter axes are not listed here — they
+// come from the workload registry's own parameter catalog.
+type SweepAxisInfo struct {
+	Name   string
+	Desc   string
+	Values []string // enumerable values, nil for open-ended axes
+	Hint   string   // value-shape hint when Values is nil
+}
+
+// sweepAxisDef wires an engine axis name to its per-point application.
+type sweepAxisDef struct {
+	name   string
+	desc   string
+	values func() []string // enumerable values (nil = open-ended)
+	hint   string          // value-shape hint when values is nil
+	// norm validates a value and returns its canonical spelling, so
+	// spelling variants of one point ("4"/"04", "MESI+MemL1" with spaces)
+	// collide in the duplicate check. nil = values() membership.
+	norm func(v string) (string, error)
+	// conflicts reports whether the base options already pin this axis
+	// explicitly (a sweep owns its axis; overriding would be silent).
+	conflicts func(o MatrixOptions) bool
+	// requires rejects base options under which the axis has no effect —
+	// a sweep whose points are all identical is a silent no-op, the
+	// failure class this codebase errors on rather than prints.
+	requires func(o MatrixOptions) error
+	apply    func(o *MatrixOptions, value string) // set the axis on one point's options
+}
+
+// requiresVCRouter gates the VC-geometry axes: under the ideal router the
+// VC knobs are dead and every sweep point would be bit-identical.
+func requiresVCRouter(o MatrixOptions) error {
+	if o.Router != "vc" {
+		return fmt.Errorf("only the vc router reads VC geometry (every point would be identical); set Router/-router to vc")
+	}
+	return nil
+}
+
+// sweepAxes is the engine-axis registry, in presentation order. Workload
+// parameters ("hotspot(t=...)") are the other sweepable surface; they are
+// resolved through the workload registry instead.
+var sweepAxes = []sweepAxisDef{
+	{
+		name: "topology", desc: "NoC topology for every cell",
+		values:    mesh.TopologyKinds,
+		conflicts: func(o MatrixOptions) bool { return o.Topology != "" },
+		apply:     func(o *MatrixOptions, v string) { o.Topology = v },
+	},
+	{
+		name: "router", desc: "fabric forwarding model for every cell",
+		values:    mesh.RouterKinds,
+		conflicts: func(o MatrixOptions) bool { return o.Router != "" },
+		apply:     func(o *MatrixOptions, v string) { o.Router = v },
+	},
+	{
+		name: "vcs", desc: "vc router virtual channels per input port (even, >= 2)",
+		hint: "even int >= 2",
+		norm: func(v string) (string, error) {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return "", fmt.Errorf("%q is not an integer", v)
+			}
+			if n < 2 || n%2 != 0 {
+				return "", fmt.Errorf("VCs = %d; the dateline split needs an even count >= 2", n)
+			}
+			return strconv.Itoa(n), nil
+		},
+		conflicts: func(o MatrixOptions) bool { return o.VCs != 0 },
+		requires:  requiresVCRouter,
+		apply:     func(o *MatrixOptions, v string) { o.VCs = mustAtoi(v) },
+	},
+	{
+		name: "vcdepth", desc: "vc router flit buffer depth per VC (>= 1)",
+		hint:      "int >= 1",
+		norm:      normPositiveInt,
+		conflicts: func(o MatrixOptions) bool { return o.VCDepth != 0 },
+		requires:  requiresVCRouter,
+		apply:     func(o *MatrixOptions, v string) { o.VCDepth = mustAtoi(v) },
+	},
+	{
+		name: "threads", desc: "worker threads (= cores used) per cell",
+		hint:      "int >= 1",
+		norm:      normPositiveInt,
+		conflicts: func(o MatrixOptions) bool { return o.Threads != 0 },
+		apply:     func(o *MatrixOptions, v string) { o.Threads = mustAtoi(v) },
+	},
+	{
+		name: "protocol", desc: "one protocol spec per point (replaces the matrix protocol axis)",
+		hint: "any protocol spec",
+		norm: func(v string) (string, error) {
+			p, err := ParseProtocol(v)
+			if err != nil {
+				return "", err
+			}
+			return p.Spec, nil
+		},
+		conflicts: func(o MatrixOptions) bool { return o.Protocols != nil },
+		apply:     func(o *MatrixOptions, v string) { o.Protocols = []string{v} },
+	},
+}
+
+func normPositiveInt(v string) (string, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return "", fmt.Errorf("%q is not an integer", v)
+	}
+	if n < 1 {
+		return "", fmt.Errorf("%d must be >= 1", n)
+	}
+	return strconv.Itoa(n), nil
+}
+
+// mustAtoi converts a value the axis check already validated.
+func mustAtoi(v string) int {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		panic("core: unvalidated sweep value: " + v)
+	}
+	return n
+}
+
+func sweepAxisByName(name string) *sweepAxisDef {
+	for i := range sweepAxes {
+		if sweepAxes[i].name == name {
+			return &sweepAxes[i]
+		}
+	}
+	return nil
+}
+
+// SweepAxisNames lists the engine-level sweep axes in presentation order.
+func SweepAxisNames() []string {
+	out := make([]string, len(sweepAxes))
+	for i, d := range sweepAxes {
+		out[i] = d.name
+	}
+	return out
+}
+
+// SweepAxisCatalog returns the engine-axis inventory for cmd/papertables.
+func SweepAxisCatalog() []SweepAxisInfo {
+	out := make([]SweepAxisInfo, len(sweepAxes))
+	for i, d := range sweepAxes {
+		info := SweepAxisInfo{Name: d.name, Desc: d.desc, Hint: d.hint}
+		if d.values != nil {
+			info.Values = d.values()
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// SweepSpec is a parsed, validated sweep: one axis with an ordered,
+// expanded value list, ready to stamp out per-point MatrixOptions.
+type SweepSpec struct {
+	// Spec is the normalized spelling of the sweep (whitespace trimmed,
+	// value lists preserved as written).
+	Spec string
+	// Axis identifies the swept knob: an engine axis name ("topology",
+	// "vcs", "protocol", ...) or "family.key" for a workload-parameter
+	// sweep ("hotspot.t").
+	Axis string
+	// Workload is the swept workload family name for workload-parameter
+	// sweeps ("" for engine axes).
+	Workload string
+	// Param is the swept parameter key for workload-parameter sweeps.
+	Param string
+	// Values holds one label per sweep point, in sweep order: the axis
+	// value for engine axes ("ring", "4"), the swept parameter value for
+	// workload sweeps ("2" for hotspot(t=2)) — the curve's x coordinates.
+	Values []string
+
+	axis  *sweepAxisDef // non-nil for engine-axis sweeps
+	specs []string      // per-point workload specs (workload sweeps)
+}
+
+// expandRange expands one sweep value token: a plain value, an integer
+// range "lo..hi" (step 1) or "lo..hi..step", or a float range with an
+// explicit step ("0.1..0.9..0.2"). Ranges are inclusive of hi when the
+// step lands on it.
+func expandRange(tok string) ([]string, error) {
+	if !strings.Contains(tok, "..") {
+		return []string{tok}, nil
+	}
+	parts := strings.Split(tok, "..")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, fmt.Errorf("range %q is not lo..hi or lo..hi..step", tok)
+	}
+	// Integer range when every part — bounds and step alike — parses as
+	// an integer; "0..1..0.25" has integer bounds but is a float range.
+	allInt := true
+	for _, p := range parts {
+		if _, err := strconv.Atoi(p); err != nil {
+			allInt = false
+		}
+	}
+	if allInt {
+		lo, _ := strconv.Atoi(parts[0])
+		hi, _ := strconv.Atoi(parts[1])
+		step := 1
+		if len(parts) == 3 {
+			if step, _ = strconv.Atoi(parts[2]); step < 1 {
+				return nil, fmt.Errorf("range %q: step %q must be positive", tok, parts[2])
+			}
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("range %q: hi %d < lo %d", tok, hi, lo)
+		}
+		var out []string
+		for v := lo; v <= hi; v += step {
+			out = append(out, strconv.Itoa(v))
+			if len(out) > sweepPointCap {
+				return nil, fmt.Errorf("range %q expands past %d points", tok, sweepPointCap)
+			}
+		}
+		return out, nil
+	}
+	// Float range: the step is mandatory (there is no natural "next"
+	// float, and an implied step would silently pick one).
+	lo, err1 := strconv.ParseFloat(parts[0], 64)
+	hi, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("range %q: bounds are neither integers nor numbers", tok)
+	}
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("float range %q needs an explicit step (lo..hi..step)", tok)
+	}
+	step, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || step <= 0 {
+		return nil, fmt.Errorf("range %q: step %q must be a positive number", tok, parts[2])
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("range %q: hi %g < lo %g", tok, hi, lo)
+	}
+	var out []string
+	for i := 0; ; i++ {
+		// Recompute from the index (lo + i*step, decimally rounded) so the
+		// labels stay clean instead of accumulating float error.
+		v := math.Round((lo+float64(i)*step)*1e9) / 1e9
+		if v > hi+1e-12 {
+			break
+		}
+		out = append(out, strconv.FormatFloat(v, 'g', -1, 64))
+		if len(out) > sweepPointCap {
+			return nil, fmt.Errorf("range %q expands past %d points", tok, sweepPointCap)
+		}
+	}
+	return out, nil
+}
+
+// splitSweepValues splits a comma-separated value list where a piece
+// containing '=' starts a new key and bare pieces extend the previous
+// key's values: "t=1,2,4,p=0.1" is t->[1 2 4], p->[0.1]. Order of first
+// appearance is preserved.
+func splitSweepValues(body string) (keys []string, vals map[string][]string, err error) {
+	vals = make(map[string][]string)
+	cur := ""
+	for _, piece := range strings.Split(body, ",") {
+		piece = strings.TrimSpace(piece)
+		if piece == "" {
+			continue
+		}
+		if eq := strings.IndexByte(piece, '='); eq >= 0 {
+			cur = strings.TrimSpace(piece[:eq])
+			if cur == "" {
+				return nil, nil, fmt.Errorf("option %q has an empty key", piece)
+			}
+			if _, dup := vals[cur]; dup {
+				return nil, nil, fmt.Errorf("duplicate option %q", cur)
+			}
+			keys = append(keys, cur)
+			piece = strings.TrimSpace(piece[eq+1:])
+		} else if cur == "" {
+			return nil, nil, fmt.Errorf("value %q before any key=", piece)
+		}
+		if piece == "" {
+			return nil, nil, fmt.Errorf("option %q: empty value", cur)
+		}
+		expanded, err := expandRange(piece)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range expanded {
+			vals[cur] = append(vals[cur], normScalar(v))
+		}
+	}
+	return keys, vals, nil
+}
+
+// ParseSweep resolves a sweep spec — "axis=value,value,..." over an engine
+// axis, or "family(key=range,...)" over a workload-registry parameter —
+// into a validated SweepSpec without running anything. Every expanded
+// point value is checked against its registry, so a sweep that parses
+// cannot fail on spec resolution mid-run.
+func ParseSweep(spec string) (*SweepSpec, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, fmt.Errorf("core: empty sweep spec (axes: %s; or a workload parameter like hotspot(t=1..16))",
+			strings.Join(SweepAxisNames(), ", "))
+	}
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		return parseWorkloadSweep(spec, s, i)
+	}
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return nil, fmt.Errorf("core: sweep %q is neither axis=values nor workload(key=range)", spec)
+	}
+	name := strings.TrimSpace(s[:eq])
+	axis := sweepAxisByName(name)
+	if axis == nil {
+		return nil, fmt.Errorf("core: unknown sweep axis %q (axes: %s; or a workload parameter like hotspot(t=1..16))",
+			name, strings.Join(SweepAxisNames(), ", "))
+	}
+	var values []string
+	for _, tok := range strings.Split(s[eq+1:], ",") {
+		if tok = strings.TrimSpace(tok); tok == "" {
+			continue
+		}
+		expanded, err := expandRange(tok)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %q: %w", spec, err)
+		}
+		values = append(values, expanded...)
+	}
+	if len(values) < 2 {
+		return nil, fmt.Errorf("core: sweep %q has %d point(s); a sweep needs at least 2", spec, len(values))
+	}
+	if len(values) > sweepPointCap {
+		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d)", spec, len(values), sweepPointCap)
+	}
+	seen := make(map[string]bool, len(values))
+	for i, v := range values {
+		if axis.norm != nil {
+			n, err := axis.norm(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep %q: %v", spec, err)
+			}
+			values[i] = n
+			v = n
+		} else if !contains(axis.values(), v) {
+			return nil, fmt.Errorf("core: sweep %q: unknown %s %q (valid: %s)",
+				spec, axis.name, v, strings.Join(axis.values(), ", "))
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("core: sweep %q: duplicate point %q", spec, v)
+		}
+		seen[v] = true
+	}
+	return &SweepSpec{
+		Spec:   name + "=" + strings.Join(values, ","),
+		Axis:   name,
+		Values: values,
+		axis:   axis,
+	}, nil
+}
+
+// parseWorkloadSweep handles the "family(key=range,...)" form: exactly one
+// parameter carries multiple values and becomes the axis; the rest are
+// fixed for every point.
+func parseWorkloadSweep(orig, s string, paren int) (*SweepSpec, error) {
+	if !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("core: malformed sweep %q: missing ')'", orig)
+	}
+	family := strings.TrimSpace(s[:paren])
+	keys, vals, err := splitSweepValues(s[paren+1 : len(s)-1])
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep %q: %w", orig, err)
+	}
+	swept := ""
+	for _, k := range keys {
+		if len(vals[k]) > 1 {
+			if swept != "" {
+				return nil, fmt.Errorf("core: sweep %q: both %q and %q have multiple values; a sweep has one axis",
+					orig, swept, k)
+			}
+			swept = k
+		}
+	}
+	if swept == "" {
+		return nil, fmt.Errorf("core: sweep %q: no parameter has multiple values (use a range like t=1..16 or a list like t=1,2,4)", orig)
+	}
+	if len(vals[swept]) > sweepPointCap {
+		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d)", orig, len(vals[swept]), sweepPointCap)
+	}
+	sw := &SweepSpec{
+		Axis:     family + "." + swept,
+		Workload: family,
+		Param:    swept,
+	}
+	seen := make(map[string]bool, len(vals[swept]))
+	for _, v := range vals[swept] {
+		// One concrete spec per point, every parameter spelled out; the
+		// workload registry validates and canonicalizes it, so two
+		// spellings of one point ("t=4" and "t=04") collide here.
+		var opts []string
+		for _, k := range keys {
+			val := v
+			if k != swept {
+				val = vals[k][0]
+			}
+			opts = append(opts, k+"="+val)
+		}
+		pointSpec := family + "(" + strings.Join(opts, ",") + ")"
+		parsed, err := workloads.ParseSpec(pointSpec)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %q: %w", orig, err)
+		}
+		if seen[parsed.Canonical] {
+			return nil, fmt.Errorf("core: sweep %q: duplicate point %s=%s", orig, swept, v)
+		}
+		seen[parsed.Canonical] = true
+		sw.specs = append(sw.specs, parsed.Canonical)
+		sw.Values = append(sw.Values, v)
+	}
+	if len(sw.Values) < 2 {
+		return nil, fmt.Errorf("core: sweep %q has %d point(s); a sweep needs at least 2", orig, len(sw.Values))
+	}
+	// Canonical spelling: swept values expanded, fixed parameters kept.
+	var parts []string
+	for _, k := range keys {
+		if k == swept {
+			parts = append(parts, k+"="+strings.Join(vals[k], ","))
+		} else {
+			parts = append(parts, k+"="+vals[k][0])
+		}
+	}
+	sw.Spec = family + "(" + strings.Join(parts, ",") + ")"
+	return sw, nil
+}
+
+// normScalar canonicalizes a numeric-looking value the way the workload
+// registry does ("02" -> "2", "0.050" -> "0.05"), so sweep-point labels
+// and the canonical Spec match the registry's spelling; non-numeric
+// values (file paths) pass through verbatim.
+func normScalar(v string) string {
+	if n, err := strconv.Atoi(v); err == nil {
+		return strconv.Itoa(n)
+	}
+	if f, err := strconv.ParseFloat(v, 64); err == nil {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return v
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PointOptions returns the per-point MatrixOptions, in sweep order: base
+// with the axis value applied. For workload-parameter sweeps each point's
+// Benchmarks is the single swept spec; for the protocol axis each point's
+// Protocols is the single swept protocol. A base that already pins the
+// swept axis (an explicit benchmark list against a workload sweep, a
+// nonzero Topology/Router/VCs/VCDepth/Threads against that engine axis)
+// is an error rather than a silent override — callers leave a swept field
+// at its zero value.
+func (s *SweepSpec) PointOptions(base MatrixOptions) ([]MatrixOptions, error) {
+	if s.Workload != "" && base.Benchmarks != nil {
+		return nil, fmt.Errorf("core: sweep %q sets the benchmark axis; drop the explicit benchmark list", s.Spec)
+	}
+	if s.axis != nil && s.axis.conflicts != nil && s.axis.conflicts(base) {
+		return nil, fmt.Errorf("core: sweep %q sets the %s axis; drop the explicit %s value", s.Spec, s.Axis, s.Axis)
+	}
+	if s.axis != nil && s.axis.requires != nil {
+		if err := s.axis.requires(base); err != nil {
+			return nil, fmt.Errorf("core: sweep %q: %v", s.Spec, err)
+		}
+	}
+	out := make([]MatrixOptions, len(s.Values))
+	for i, v := range s.Values {
+		o := base
+		if s.Workload != "" {
+			o.Benchmarks = []string{s.specs[i]}
+		} else {
+			s.axis.apply(&o, v)
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// SweepPoint is one point of a completed sweep: the axis value and the
+// full matrix simulated at it.
+type SweepPoint struct {
+	// Value is the point's axis value — the curve's x coordinate ("ring",
+	// "4"). For workload-parameter sweeps the point's canonical workload
+	// spec appears as the single benchmark of Matrix.
+	Value string
+	// Matrix holds the point's full benchmark x protocol results.
+	Matrix *Matrix
+}
+
+// SweepResult is a completed sweep: every point's matrix, in sweep order.
+type SweepResult struct {
+	// Spec is the canonical sweep spelling the result was produced from.
+	Spec string
+	// Axis is the swept knob ("topology", "hotspot.t", ...).
+	Axis string
+	// Points holds the per-point matrices, in sweep order.
+	Points []*SweepPoint
+}
+
+// RunSweep expands and runs a sweep over a base configuration; see
+// RunSweepContext.
+func RunSweep(opt MatrixOptions, spec string) (*SweepResult, error) {
+	return RunSweepContext(context.Background(), opt, spec)
+}
+
+// RunSweepContext parses spec, expands it into per-point MatrixOptions on
+// top of opt, and runs the points in sweep order, each through the sharded
+// matrix engine. Points run sequentially — parallelism lives inside each
+// point's matrix (opt.Workers), which keeps peak memory at one matrix and
+// preserves the engine's guarantee: the assembled SweepResult is
+// bit-identical at every worker count. Cancelling ctx stops at the next
+// cell boundary, like RunMatrixContext.
+func RunSweepContext(ctx context.Context, opt MatrixOptions, spec string) (*SweepResult, error) {
+	s, err := ParseSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	points, err := s.PointOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Spec: s.Spec, Axis: s.Axis}
+	for i, po := range points {
+		m, err := RunMatrixContext(ctx, po)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %s = %s: %w", s.Axis, s.Values[i], err)
+		}
+		res.Points = append(res.Points, &SweepPoint{Value: s.Values[i], Matrix: m})
+	}
+	return res, nil
+}
+
+// sweepColumns are the assembled table's per-cell quantities: total
+// traffic (flit-hops), execution cycles, mean and worst packet latency
+// over the measured window (cycles), the hottest directed link's
+// utilization (percent of cycles busy), the wasted share of all traffic
+// (percent of flit-hops), and the share of words fetched into the L1 that
+// were never used (percent) — the load-latency and waste-vs-load curve
+// data in one table.
+var sweepColumns = []string{"Traffic", "Cycles", "MeanLat", "MaxLat", "Util%", "Waste%", "L1Waste%"}
+
+// SweepTable is the assembled sweep output: one row per
+// (point, benchmark, protocol) cell with the curve quantities, in sweep
+// order. Values are raw (not normalized to a baseline): saturation curves
+// compare points of one configuration, not protocols against MESI.
+type SweepTable struct {
+	// Spec and Axis identify the sweep the table was assembled from.
+	Spec string
+	Axis string
+	// Columns names the per-row quantities (see sweepColumns).
+	Columns []string
+	// Rows holds every (point, benchmark, protocol) cell, point-major in
+	// sweep order.
+	Rows []SweepRow
+}
+
+// SweepRow is one (point, benchmark, protocol) cell of a SweepTable.
+type SweepRow struct {
+	// Point is the sweep-axis value the cell was simulated at.
+	Point string
+	// Bench and Protocol key the cell inside the point's matrix.
+	Bench    string
+	Protocol string
+	// Values holds the quantities named by SweepTable.Columns.
+	Values []float64
+}
+
+// Table assembles the sweep's curve table from the per-point matrices.
+func (r *SweepResult) Table() *SweepTable {
+	t := &SweepTable{Spec: r.Spec, Axis: r.Axis, Columns: sweepColumns}
+	for _, p := range r.Points {
+		m := p.Matrix
+		for _, bench := range m.Benchmarks {
+			for _, proto := range m.Protocols {
+				res := m.Get(bench, proto)
+				if res == nil {
+					continue
+				}
+				l1waste := 0.0
+				if total := float64(res.WasteTotal(waste.LevelL1)); total > 0 {
+					l1waste = 100 * (1 - float64(res.Waste[waste.LevelL1][waste.Used])/total)
+				}
+				t.Rows = append(t.Rows, SweepRow{
+					Point:    p.Value,
+					Bench:    bench,
+					Protocol: proto,
+					Values: []float64{
+						res.Total(),
+						float64(res.ExecCycles),
+						res.Net.LatencyMean,
+						float64(res.Net.LatencyMax),
+						res.Net.LinkUtilMax * 100,
+						res.WasteShare * 100,
+						l1waste,
+					},
+				})
+			}
+		}
+	}
+	return t
+}
+
+// String renders the assembled table as aligned text, one block per sweep
+// point.
+func (t *SweepTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep %s — one curve point per %s value\n", t.Spec, t.Axis)
+	pointW, benchW := len(t.Axis), len("benchmark")
+	for _, r := range t.Rows {
+		if len(r.Point) > pointW {
+			pointW = len(r.Point)
+		}
+		if len(r.Bench) > benchW {
+			benchW = len(r.Bench)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s %-*s %-18s", pointW, t.Axis, benchW, "benchmark", "protocol")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteString("\n")
+	prev := ""
+	for _, r := range t.Rows {
+		point := r.Point
+		if point == prev {
+			point = ""
+		} else if prev != "" {
+			b.WriteString("\n")
+		}
+		prev = r.Point
+		fmt.Fprintf(&b, "%-*s %-*s %-18s", pointW, point, benchW, r.Bench, r.Protocol)
+		for i, v := range r.Values {
+			switch t.Columns[i] {
+			case "Traffic", "Cycles", "MaxLat":
+				fmt.Fprintf(&b, " %12.0f", v)
+			default:
+				fmt.Fprintf(&b, " %12.2f", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

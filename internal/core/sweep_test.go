@@ -1,0 +1,282 @@
+package core_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestParseSweepExpansion pins the expansion rules: ranges, steps, value
+// lists, fixed co-parameters, and the canonical point order.
+func TestParseSweepExpansion(t *testing.T) {
+	cases := []struct {
+		spec     string
+		axis     string
+		workload string
+		values   []string
+	}{
+		{"topology=mesh,ring,torus", "topology", "", []string{"mesh", "ring", "torus"}},
+		{"topology=ring,mesh", "topology", "", []string{"ring", "mesh"}}, // given order, not sorted
+		{"router=ideal,vc", "router", "", []string{"ideal", "vc"}},
+		{"vcs=2..8..2", "vcs", "", []string{"2", "4", "6", "8"}},
+		{"vcdepth=1..4", "vcdepth", "", []string{"1", "2", "3", "4"}},
+		{"threads=4,8,16", "threads", "", []string{"4", "8", "16"}},
+		{"protocol=MESI,DeNovo+BypL2", "protocol", "", []string{"MESI", "DeNovo+BypL2"}},
+		{"hotspot(t=1..4)", "hotspot.t", "hotspot", []string{"1", "2", "3", "4"}},
+		{"hotspot(t=1,2,4,p=0.1)", "hotspot.t", "hotspot", []string{"1", "2", "4"}},
+		{"uniform(p=0.02..0.06..0.02)", "uniform.p", "uniform", []string{"0.02", "0.04", "0.06"}},
+		{"uniform(p=0..1..0.5)", "uniform.p", "uniform", []string{"0", "0.5", "1"}}, // int bounds, float step
+		{"vcs=02,4", "vcs", "", []string{"2", "4"}},                                 // numeric values normalize
+		{"hotspot(t=1,02,4)", "hotspot.t", "hotspot", []string{"1", "2", "4"}},      // workload values too
+		{" hotspot( t = 1..3 ) ", "hotspot.t", "hotspot", []string{"1", "2", "3"}},
+		{"prodcons(groups=2,4,8)", "prodcons.groups", "prodcons", []string{"2", "4", "8"}},
+	}
+	for _, c := range cases {
+		s, err := core.ParseSweep(c.spec)
+		if err != nil {
+			t.Errorf("ParseSweep(%q): %v", c.spec, err)
+			continue
+		}
+		if s.Axis != c.axis {
+			t.Errorf("ParseSweep(%q): axis %q, want %q", c.spec, s.Axis, c.axis)
+		}
+		if s.Workload != c.workload {
+			t.Errorf("ParseSweep(%q): workload %q, want %q", c.spec, s.Workload, c.workload)
+		}
+		if !reflect.DeepEqual(s.Values, c.values) {
+			t.Errorf("ParseSweep(%q): values %v, want %v", c.spec, s.Values, c.values)
+		}
+	}
+}
+
+// TestParseSweepErrors pins the loud-failure paths: every malformed or
+// unresolvable sweep must error at parse time, before any simulation.
+func TestParseSweepErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"", "empty sweep"},
+		{"hotspot", "neither axis=values nor workload"},
+		{"gravity=1,2", "unknown sweep axis"},
+		{"topology=mesh", "needs at least 2"},
+		{"topology=mesh,hexgrid", "unknown topology"},
+		{"topology=mesh,mesh", "duplicate point"},
+		{"router=ideal,quantum", "unknown router"},
+		{"vcs=2,3", "even count"},
+		{"vcs=2,x", "not an integer"},
+		{"vcdepth=0..2", ">= 1"},
+		{"protocol=MESI,Dragon", "unknown protocol"},
+		{"hotspot(t=1..16", "missing ')'"},
+		{"hotspot(t=4)", "no parameter has multiple values"},
+		{"hotspot(t=1..4,p=0.1..0.3..0.1)", "one axis"},
+		{"hotspot(t=4..1)", "hi 1 < lo 4"},
+		{"hotspot(t=1..4..0)", "must be positive"},
+		{"vcs=4,04", "duplicate point"},
+		{"protocol=MESI+MemL1,MESI + MemL1", "duplicate point"}, // normalized before dedup
+		{"uniform(p=0.1..0.9)", "explicit step"},
+		{"uniform(p=0.1..0.9..-0.1)", "positive number"},
+		{"hotspot(t=1,2,4", "missing ')'"},
+		{"hotspot(1,2,4)", "before any key="},
+		{"warp(t=1..4)", "unknown benchmark"},
+		{"hotspot(speed=1..4)", "unknown option"},
+		{"hotspot(t=1,2,01)", "duplicate point"},
+		{"vcs=2..2048..2", "expands past"},
+	}
+	for _, c := range cases {
+		_, err := core.ParseSweep(c.spec)
+		if err == nil {
+			t.Errorf("ParseSweep(%q): no error, want %q", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSweep(%q): error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestSweepPointOptionsConflicts: a sweep that owns the benchmark or
+// protocol axis must reject an explicit base list for the same axis
+// instead of silently overriding it.
+func TestSweepPointOptionsConflicts(t *testing.T) {
+	s, err := core.ParseSweep("hotspot(t=1,2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PointOptions(core.MatrixOptions{Benchmarks: []string{"FFT"}}); err == nil {
+		t.Error("workload sweep with explicit benchmarks: no error")
+	}
+	if _, err := s.PointOptions(core.MatrixOptions{Protocols: []string{"MESI"}}); err != nil {
+		t.Errorf("workload sweep with explicit protocols should be fine: %v", err)
+	}
+	p, err := core.ParseSweep("protocol=MESI,DeNovo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PointOptions(core.MatrixOptions{Protocols: []string{"MESI"}}); err == nil {
+		t.Error("protocol sweep with explicit protocols: no error")
+	}
+	// Every engine axis owns its MatrixOptions field the same way. The VC
+	// geometry axes additionally require the vc router — under ideal every
+	// point would be identical, the silent-no-op class.
+	engineAxes := []struct {
+		spec   string
+		pinned core.MatrixOptions
+		clean  core.MatrixOptions
+	}{
+		{"topology=mesh,ring", core.MatrixOptions{Topology: "torus"}, core.MatrixOptions{}},
+		{"router=ideal,vc", core.MatrixOptions{Router: "vc"}, core.MatrixOptions{}},
+		{"vcs=2,4", core.MatrixOptions{Router: "vc", VCs: 6}, core.MatrixOptions{Router: "vc"}},
+		{"vcdepth=1,2", core.MatrixOptions{Router: "vc", VCDepth: 8}, core.MatrixOptions{Router: "vc"}},
+		{"threads=4,8", core.MatrixOptions{Threads: 16}, core.MatrixOptions{}},
+	}
+	for _, c := range engineAxes {
+		sw, err := core.ParseSweep(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.PointOptions(c.pinned); err == nil {
+			t.Errorf("sweep %q with the axis pinned in base options: no error", c.spec)
+		}
+		if _, err := sw.PointOptions(c.clean); err != nil {
+			t.Errorf("sweep %q with a clean base: %v", c.spec, err)
+		}
+	}
+	// A VC-geometry sweep under the (default) ideal router is a silent
+	// no-op and must be rejected.
+	for _, spec := range []string{"vcs=2,4", "vcdepth=1,2"} {
+		sw, err := core.ParseSweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.PointOptions(core.MatrixOptions{}); err == nil {
+			t.Errorf("sweep %q under the ideal router: no error", spec)
+		} else if !strings.Contains(err.Error(), "vc router") {
+			t.Errorf("sweep %q under ideal: error %q does not mention the vc router", spec, err)
+		}
+	}
+}
+
+// TestSweepPointOptionsApply verifies each engine axis lands on the right
+// MatrixOptions field, point by point in sweep order.
+func TestSweepPointOptionsApply(t *testing.T) {
+	base := core.MatrixOptions{Size: workloads.Tiny, Router: "vc"}
+	s, err := core.ParseSweep("vcs=2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.PointOptions(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].VCs != 2 || pts[1].VCs != 4 {
+		t.Fatalf("vcs sweep points: %+v", pts)
+	}
+	if pts[0].Router != "vc" {
+		t.Errorf("base Router not inherited: %q", pts[0].Router)
+	}
+	w, err := core.ParseSweep("hotspot(t=2,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpts, err := w.PointOptions(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"hotspot(t=2)"}, {"hotspot"}} // t=4 is the default and folds away
+	for i, p := range wpts {
+		if !reflect.DeepEqual(p.Benchmarks, want[i]) {
+			t.Errorf("point %d benchmarks %v, want %v", i, p.Benchmarks, want[i])
+		}
+	}
+}
+
+// sweepTestOptions is a small but real sweep configuration shared by the
+// determinism tests: two points, two protocols, one benchmark per point.
+func sweepTestOptions(workers int) core.MatrixOptions {
+	return core.MatrixOptions{
+		Size:      workloads.Tiny,
+		Protocols: []string{"MESI", "DeNovo"},
+		Workers:   workers,
+	}
+}
+
+// TestSweepWorkersDeterminism is the sweep engine's core guarantee,
+// inherited from the matrix engine: the assembled table is bit-identical
+// between the serial reference (Workers: 1) and the parallel run
+// (Workers: 0), field for field.
+func TestSweepWorkersDeterminism(t *testing.T) {
+	const spec = "hotspot(t=1,2)"
+	serial, err := core.RunSweep(sweepTestOptions(1), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.RunSweep(sweepTestOptions(0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, pt := serial.Table(), parallel.Table()
+	if !reflect.DeepEqual(st, pt) {
+		t.Errorf("sweep table diverges between Workers=1 and Workers=0:\nserial   %+v\nparallel %+v", st, pt)
+	}
+	// The guarantee covers the full per-point matrices, not just the
+	// assembled table columns.
+	for i := range serial.Points {
+		a, b := serial.Points[i], parallel.Points[i]
+		if a.Value != b.Value {
+			t.Errorf("point %d: value %q vs %q", i, a.Value, b.Value)
+		}
+		if !reflect.DeepEqual(a.Matrix, b.Matrix) {
+			t.Errorf("point %s: matrices diverge", a.Value)
+		}
+	}
+}
+
+// TestSweepOrderingStable: two identical runs produce identical tables —
+// point order, row order, and values — so sweep output is reproducible
+// run to run, not just worker count to worker count.
+func TestSweepOrderingStable(t *testing.T) {
+	const spec = "topology=ring,mesh"
+	opt := core.MatrixOptions{
+		Size:       workloads.Tiny,
+		Protocols:  []string{"MESI"},
+		Benchmarks: []string{"LU"},
+	}
+	first, err := core.RunSweep(opt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := core.RunSweep(opt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []string{first.Points[0].Value, first.Points[1].Value}; !reflect.DeepEqual(got, []string{"ring", "mesh"}) {
+		t.Errorf("point order %v, want the spec's order [ring mesh]", got)
+	}
+	if !reflect.DeepEqual(first.Table(), second.Table()) {
+		t.Error("identical sweeps produced different tables")
+	}
+}
+
+// TestSweepPointFailureIsLoud: a sweep point whose simulation cannot even
+// be configured (odd VC count) fails with the point named, not silently.
+func TestSweepPointFailureIsLoud(t *testing.T) {
+	// vcs=3 is rejected at parse time; force a point failure through a
+	// config the parser cannot see: VCDepth works, but an unknown
+	// benchmark in the base options only surfaces when the point runs.
+	opt := core.MatrixOptions{
+		Size:       workloads.Tiny,
+		Benchmarks: []string{"FTT"}, // typo: engine rejects it per point
+		Protocols:  []string{"MESI"},
+	}
+	_, err := core.RunSweep(opt, "topology=mesh,ring")
+	if err == nil {
+		t.Fatal("sweep with an unknown benchmark ran without error")
+	}
+	if !strings.Contains(err.Error(), "sweep point topology = mesh") {
+		t.Errorf("error %q does not name the failing sweep point", err)
+	}
+}

@@ -60,9 +60,15 @@ func newRouterCtor(kind string) (func(*Mesh) router, error) {
 	return nil, fmt.Errorf("mesh: unknown router %q (have %v)", kind, RouterKinds())
 }
 
-// router is the fabric's forwarding model. inject consumes one packet with
-// src != dst, must eventually call Mesh.complete exactly once for it, and
-// returns the route length in links for flit-hop accounting.
+// router is the forwarding-model contract the fabric programs against.
+// inject consumes one packet of flits flits with src != dst, must
+// eventually call Mesh.complete exactly once for it when the model says
+// the packet arrives (recording the packet's latency in the congestion
+// telemetry), and returns the route length in links (the fabric charges
+// flits x hops to the traffic telemetry, identically under every model).
+// Implementations must be deterministic: all state advances on kernel
+// events only, so simulations are bit-identical at any engine worker
+// count.
 type router interface {
 	kind() string
 	inject(src, dst, flits int, payload any) int

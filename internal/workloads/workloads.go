@@ -49,6 +49,7 @@ func (s Size) ScaleDiv() int {
 	}
 }
 
+// String returns the scale's CLI spelling ("tiny", "small", "paper").
 func (s Size) String() string {
 	switch s {
 	case Tiny:

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the benchmark trajectory snapshot (BENCH_pr4.json).
+# Regenerate the benchmark trajectory snapshot (BENCH_pr5.json).
 #
 # One iteration per benchmark (-benchtime=1x): the headline values are the
 # reported custom metrics — percent-of-MESI figure stacks over the
@@ -7,12 +7,14 @@
 # are fully deterministic. Wall-clock ns/op is recorded but is environment
 # noise; compare metrics, not times, across commits. The Tiny synthetic-
 # pattern benches (BenchmarkAblationSynthetic*, trace replay) track the
-# PR 4 workload axis alongside the figure stacks.
+# PR 4 workload axis, and the sweep benches (BenchmarkSweep*: hotspot
+# concentration, vc injection-rate curve endpoints) track the PR 5 sweep
+# engine, alongside the figure stacks.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 go test -bench=. -benchmem -benchtime=1x -run '^$' -timeout 60m . \
   | tee /dev/stderr \
   | go run ./scripts/benchjson > "$out"

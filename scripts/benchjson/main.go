@@ -30,8 +30,8 @@ func main() {
 	out := output{
 		Tool:    "scripts/bench.sh",
 		Command: "go test -bench=. -benchmem -benchtime=1x -run '^$'",
-		Note: "figure benches aggregate the Small-scale 9x6 matrix; ablation benches run Tiny. " +
-			"Custom metrics (percent-of-MESI stacks, flit-hops, cycles) are deterministic; " +
+		Note: "figure benches aggregate the Small-scale 9x6 matrix; ablation and sweep benches run Tiny. " +
+			"Custom metrics (percent-of-MESI stacks, flit-hops, cycles, curve endpoints) are deterministic; " +
 			"ns/op, B/op and allocs/op are environment-dependent.",
 	}
 	sc := bufio.NewScanner(os.Stdin)
