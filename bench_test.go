@@ -133,6 +133,7 @@ func ablationRun(b *testing.B, proto, bench string, mutate func(*memsys.Config))
 
 func ablationRunSized(b *testing.B, size workloads.Size, proto, bench string, mutate func(*memsys.Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
 		cfg := memsys.Default().Scaled(size.ScaleDiv())
@@ -209,6 +210,29 @@ func BenchmarkSimThroughputMESI(b *testing.B) {
 
 func BenchmarkSimThroughputDBypFull(b *testing.B) {
 	ablationRun(b, "DBypFull", "LU", nil)
+}
+
+// Cycle-level vc-router throughput: the same end-to-end runs under the vc
+// wormhole model, whose per-cycle kernel tick dominates simulator cost.
+// These pin the hot-path optimizations (kernel recurring-tick slot, idle
+// skip-ahead, allocation-free flit paths); compare against BENCH_pr5-era
+// numbers via scripts/benchjson -compare.
+func vcRun(c *memsys.Config) { c.Router = "vc" }
+
+func BenchmarkSimThroughputVCMESI(b *testing.B) {
+	ablationRun(b, "MESI", "LU", vcRun)
+}
+
+func BenchmarkSimThroughputVCDBypFull(b *testing.B) {
+	ablationRun(b, "DBypFull", "LU", vcRun)
+}
+
+func BenchmarkSimThroughputVCHotspot(b *testing.B) {
+	ablationRun(b, "MESI", "hotspot(t=1)", vcRun)
+}
+
+func BenchmarkSimThroughputVCUniform(b *testing.B) {
+	ablationRun(b, "MESI", "uniform", vcRun)
 }
 
 // Extension beyond the paper (its §6 follow-up): hardware counter-based

@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -43,10 +45,16 @@ import (
 	"repro/internal/workloads"
 )
 
+func main() { os.Exit(run()) }
+
 // The -help text enumerates valid names from the registries themselves, so
 // it can never drift from what the parsers accept (the hand-maintained
 // lists had already gone stale once).
-func main() {
+//
+// run carries main's body with a real return code so the profiling defers
+// execute — os.Exit skips deferred functions, and a silently truncated
+// CPU profile is exactly the kind of quiet failure this tool refuses.
+func run() (code int) {
 	fig := flag.String("fig", "", "figure to print: "+strings.Join(core.FigureIDs(), " ")+", or 'all'")
 	summary := flag.Bool("summary", false, "print the headline paper-vs-measured averages")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper (caches scale with inputs; see DESIGN.md)")
@@ -65,6 +73,8 @@ func main() {
 	vcdepth := flag.Int("vcdepth", 0, "vc router: flit buffer depth per VC (0 = model default)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile, taken at exit, to this file")
 	flag.Parse()
 
 	if *fig == "" && !*summary && *record == "" && *sweep == "" {
@@ -73,11 +83,11 @@ func main() {
 	}
 	if *record != "" && (*sweep != "" || *fig != "" || *summary) {
 		fmt.Fprintln(os.Stderr, "-record only records a trace; drop -sweep/-fig/-summary (replay the trace in a later run)")
-		os.Exit(2)
+		return 2
 	}
 	if (*vcs != 0 || *vcdepth != 0) && *router != "vc" {
 		fmt.Fprintln(os.Stderr, "-vcs/-vcdepth configure the vc router and are dead under any other model; add -router vc")
-		os.Exit(2)
+		return 2
 	}
 
 	var size workloads.Size
@@ -90,7 +100,7 @@ func main() {
 		size = workloads.Paper
 	default:
 		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
-		os.Exit(2)
+		return 2
 	}
 
 	// Fail fast on unknown figure ids and workload specs, before paying
@@ -103,7 +113,7 @@ func main() {
 		for _, id := range ids {
 			if err := core.ValidFigureID(id); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
@@ -111,24 +121,41 @@ func main() {
 	for _, spec := range benchmarks {
 		if _, err := workloads.ParseSpec(spec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	}
+
+	// Profiling wraps everything that can cost time (record, sweep, or the
+	// matrix). Unwritable paths fail here, before any simulation, instead of
+	// discovering the problem after a long run.
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *record != "" {
 		if len(benchmarks) != 1 {
 			fmt.Fprintln(os.Stderr, "-record needs exactly one workload in -benchmarks")
-			os.Exit(2)
+			return 2
 		}
 		prog, err := workloads.ByName(benchmarks[0], size, *threads)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		tr := trace.Record(prog)
 		if err := trace.WriteFile(*record, tr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("recorded %s (%s scale, %d threads, %d phases, %d ops) to %s\n",
 			prog.Name(), size, prog.Threads(), tr.Phases(), tr.TotalOps(), *record)
@@ -166,7 +193,7 @@ func main() {
 	if *sweep != "" {
 		if *fig != "" || *summary {
 			fmt.Fprintln(os.Stderr, "-sweep prints its own assembled table; drop -fig/-summary")
-			os.Exit(2)
+			return 2
 		}
 		// Fail fast before any simulation if the spec is malformed,
 		// collides with an explicitly pinned axis, or would be a no-op.
@@ -175,16 +202,16 @@ func main() {
 		s, err := core.ParseSweep(*sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		if _, err := s.PointOptions(opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		res, err := core.RunSweep(opt, *sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		// The header states only the knobs that are actually pinned across
 		// the whole sweep — never the axis being swept (the conflict check
@@ -206,7 +233,7 @@ func main() {
 	m, err := core.RunMatrix(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if m.Topology != "mesh" || m.Router != "ideal" {
@@ -218,7 +245,7 @@ func main() {
 			t, err := m.Figure(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(t)
 		}
@@ -226,6 +253,55 @@ func main() {
 	if *summary {
 		fmt.Println(m.Summarize())
 	}
+	return 0
+}
+
+// startProfiles begins CPU profiling and reserves the heap-profile file.
+// Both files are created up front so an unwritable path is a loud, early
+// usage error rather than a profile silently missing after the run. The
+// returned stop function ends the CPU profile and writes the heap snapshot;
+// its error is surfaced as a nonzero exit by the caller.
+func startProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuF, memF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if mem != "" {
+		memF, err = os.Create(mem)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memF != nil {
+			runtime.GC() // settle the live set so the snapshot is meaningful
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				memF.Close()
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := memF.Close(); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // optionTokens renders the protocol option vocabulary for -help.

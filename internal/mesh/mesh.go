@@ -76,6 +76,33 @@ type Mesh struct {
 	latHist    [LatencyBins]uint64
 	linkBusy   [][]int64 // [tile][port] flit-cycles of link occupancy
 	peakVC     int       // vc router: max buffered flits in any input VC
+
+	delFree *delivery // free list of pending-delivery records
+}
+
+// delivery is one packet's pending final-delivery event. Records are
+// free-listed on the mesh and scheduled with Kernel.AtArg, so steady-state
+// delivery traffic allocates nothing.
+type delivery struct {
+	m       *Mesh
+	payload any
+	dst     int
+	lat     int64
+	next    *delivery
+}
+
+// runDelivery fires a scheduled delivery: record the packet's latency in
+// the measured window, recycle the record, then hand the payload to the
+// tile. A package-level function value, so AtArg call sites never build a
+// closure.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	m, dst, payload, lat := d.m, d.dst, d.payload, d.lat
+	d.payload = nil
+	d.next = m.delFree
+	m.delFree = d
+	m.recordLatency(lat)
+	m.handlers[dst](payload)
 }
 
 // New creates an interconnect driven by kernel k. Unknown topology or
@@ -158,15 +185,17 @@ func (m *Mesh) Send(src, dst, flits int, payload any) int {
 // latency when the delivery event fires, so warm-up deliveries never leak
 // into the measured window.
 func (m *Mesh) complete(dst int, payload any, injectedAt, at int64) {
-	h := m.handlers[dst]
-	if h == nil {
+	if m.handlers[dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler registered for tile %d", dst))
 	}
-	lat := at - injectedAt
-	m.k.At(at, func() {
-		m.recordLatency(lat)
-		h(payload)
-	})
+	d := m.delFree
+	if d == nil {
+		d = &delivery{m: m}
+	} else {
+		m.delFree = d.next
+	}
+	d.payload, d.dst, d.lat = payload, dst, at-injectedAt
+	m.k.AtArg(at, runDelivery, d)
 }
 
 func (m *Mesh) recordLatency(lat int64) {

@@ -18,11 +18,29 @@ package mesh
 //   - link traversal: the winning flit reaches the downstream buffer
 //     LinkLatency cycles later.
 //
-// Determinism: the whole network advances inside a single self-scheduling
-// kernel event per cycle ("tick"), which only runs while packets are in
-// flight, and every allocation scan uses fixed iteration order plus
-// per-port round-robin pointers. Two runs that inject the same packets at
-// the same cycles therefore produce identical deliveries.
+// Determinism: the whole network advances inside the kernel's recurring-
+// tick slot, one tick per cycle while packets are in flight, and every
+// allocation scan uses fixed iteration order plus per-port round-robin
+// pointers. Two runs that inject the same packets at the same cycles
+// therefore produce identical deliveries.
+//
+// Idle skip-ahead: a tick that forwards nothing proves the network frozen
+// — every staged flit is blocked on a future buffered-flit arrival, a
+// pending credit return, or (transitively) another blocked flit — so the
+// next tick is armed with Kernel.TickSkipTo at the earliest arrival or
+// credit time instead of next cycle. The kernel clamps the jump to its
+// next pending event (which may inject new packets, resetting the wake
+// horizon via inject), and TickSkipTo's sequence accounting keeps
+// equal-timestamp event ordering bit-identical to per-cycle ticking, so
+// the optimization is invisible except to the wall clock.
+//
+// Allocation-free steady state: packets come from a free list, per-VC
+// arrival queues are fixed-capacity rings (credits bound occupancy by
+// VCDepth), credit returns ride a router-global time-ordered ring drained
+// at tick start (every credit takes exactly LinkLatency cycles, so pushes
+// are monotone) instead of a kernel closure per flit, and the injection
+// queues recycle their backing arrays. A steady-state tick performs zero
+// heap allocations; vc_alloc_test.go pins that with testing.AllocsPerRun.
 //
 // Deadlock freedom: routing is minimal and dimension-ordered, and the VCs
 // are split into two dateline classes — packets start in class 0 and move
@@ -31,24 +49,31 @@ package mesh
 // broken exactly as in the classic dateline scheme. Meshes never wrap and
 // simply use class 0.
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 const (
 	defaultVCs     = 2
 	defaultVCDepth = 4
 )
 
-// vcPkt is one packet traveling the VC network.
+// vcPkt is one packet traveling the VC network. Packets are recycled
+// through the router's free list once their tail flit ejects.
 type vcPkt struct {
 	dst, flits int
 	payload    any
 	injectAt   int64
+	next       *vcPkt // free list link
 }
 
 // hopState tracks a packet streaming through one router stage: an input VC
 // or the head of a source (injection) queue.
 type hopState struct {
 	pkt     *vcPkt
+	id      int // candidate bit index at this node (inPort*vcs+vc; numIn*vcs = source)
 	outPort int // output port at this node; topo.Ports() means ejection
 	class   int // dateline VC class held at this node (0 or 1)
 	axis    int // axis (port/2) of the hop that reached this node; -1 at source
@@ -56,18 +81,50 @@ type hopState struct {
 	sent    int // flits this stage has forwarded
 }
 
-// inVC is one input virtual channel: streaming state plus the buffered
-// flits' arrival cycles (a slot is reserved from the moment the upstream
-// sends, which is what the credit counter tracks).
+// inVC is one input virtual channel: streaming state plus a fixed-capacity
+// ring of the buffered flits' arrival cycles (a slot is reserved from the
+// moment the upstream sends, which is what the credit counter tracks, so
+// occupancy never exceeds VCDepth).
 type inVC struct {
 	hopState
-	arrivals []int64
+	arr     []int64 // arrival-cycle ring, cap == VCDepth, FIFO
+	arrHead int
+	arrLen  int
+}
+
+func (b *inVC) arrFront() int64 { return b.arr[b.arrHead] }
+
+func (b *inVC) arrPop() {
+	b.arrHead++
+	if b.arrHead == len(b.arr) {
+		b.arrHead = 0
+	}
+	b.arrLen--
+}
+
+func (b *inVC) arrPush(t int64) {
+	i := b.arrHead + b.arrLen
+	if i >= len(b.arr) {
+		i -= len(b.arr)
+	}
+	b.arr[i] = t
+	b.arrLen++
+}
+
+// creditRet is one in-flight credit return: the upstream output (node,
+// port, vc) regains a buffer slot at cycle at.
+type creditRet struct {
+	at   int64
+	node int32
+	port int16
+	vc   int16
 }
 
 type linkEnd struct{ node, port int }
 
 type vcNode struct {
-	injQ    []*vcPkt
+	injQ    []*vcPkt // pending source packets; injQ[injHead:] is live
+	injHead int
 	inj     hopState
 	in      [][]inVC  // [input port][vc]
 	ups     []linkEnd // upstream (node, output port) feeding each input port
@@ -79,6 +136,11 @@ type vcNode struct {
 	vcRR    []int     // VC-allocation round-robin pointer per output port
 	usedIn  []bool    // input port already supplied a flit this cycle
 	active  int       // packets currently staged at this node
+	// cand[out] has bit s.id set for every stage staged toward output out
+	// (s.pkt != nil && s.outPort == out), so switch allocation scans only
+	// live candidates instead of every (input, vc) slot. Unused when the
+	// router falls back to wide mode (candidate ids beyond 63).
+	cand []uint64
 }
 
 type vcRouter struct {
@@ -86,9 +148,24 @@ type vcRouter struct {
 	vcs      int
 	depth    int
 	eject    int // pseudo output port index = topo.Ports()
+	wide     bool // candidate ids exceed 64 bits; use the linear scan
 	nodes    []vcNode
 	inFlight int
-	ticking  bool
+
+	// wake is the cycle before which no staged flit can make progress
+	// (set by a no-progress tick; 0 = the next tick must do a full scan).
+	// inject resets it: a new header invalidates the frozen-state proof.
+	wake int64
+
+	// Pending credit returns, a time-ordered ring (constant LinkLatency
+	// makes pushes monotone). Drained at the start of every tick, exactly
+	// matching the old per-credit kernel events, which always fired before
+	// the same cycle's tick.
+	credQ    []creditRet
+	credHead int
+	credLen  int
+
+	pktFree *vcPkt // recycled packets
 }
 
 func newVCRouter(m *Mesh) *vcRouter {
@@ -129,7 +206,9 @@ func newVCRouter(m *Mesh) *vcRouter {
 		idx := len(to.in)
 		row := make([]inVC, vcs)
 		for v := range row {
+			row[v].id = idx*vcs + v
 			row[v].downVC = -1
+			row[v].arr = make([]int64, depth)
 		}
 		to.in = append(to.in, row)
 		to.ups = append(to.ups, linkEnd{l.From, l.Port})
@@ -146,48 +225,100 @@ func newVCRouter(m *Mesh) *vcRouter {
 	for i := range r.nodes {
 		nd := &r.nodes[i]
 		nd.usedIn = make([]bool, len(nd.in)+1)
+		nd.inj.id = len(nd.in) * vcs
+		nd.cand = make([]uint64, ports+1)
+		if nd.inj.id >= 64 {
+			r.wide = true
+		}
 	}
+	m.k.SetTicker(r.tick)
 	return r
 }
 
 func (r *vcRouter) kind() string { return "vc" }
 
 func (r *vcRouter) inject(src, dst, flits int, payload any) int {
-	pkt := &vcPkt{dst: dst, flits: flits, payload: payload, injectAt: r.m.k.Now()}
+	pkt := r.pktFree
+	if pkt == nil {
+		pkt = &vcPkt{}
+	} else {
+		r.pktFree = pkt.next
+		pkt.next = nil
+	}
+	pkt.dst, pkt.flits, pkt.payload, pkt.injectAt = dst, flits, payload, r.m.k.Now()
 	nd := &r.nodes[src]
 	nd.injQ = append(nd.injQ, pkt)
-	if len(nd.injQ) == 1 {
+	if len(nd.injQ)-nd.injHead == 1 {
 		r.startInjection(src, nd)
 	}
 	r.inFlight++
-	r.schedule()
+	r.wake = 0 // a fresh header invalidates any frozen-state proof
+	if !r.m.k.TickArmed() {
+		r.m.k.TickNext()
+	}
 	return r.m.topo.Hops(src, dst)
 }
 
 // startInjection stages the head of a source queue for switch allocation.
 func (r *vcRouter) startInjection(n int, nd *vcNode) {
 	s := &nd.inj
-	s.pkt = nd.injQ[0]
+	s.pkt = nd.injQ[nd.injHead]
 	s.sent = 0
 	s.class = 0
 	s.axis = -1
 	s.downVC = -1
 	s.outPort, _ = r.m.topo.NextPort(n, s.pkt.dst)
+	nd.cand[s.outPort] |= 1 << uint(s.id)
 	nd.active++
 }
 
-func (r *vcRouter) schedule() {
-	if r.ticking {
-		return
+// pushCredit queues a credit return for cycle at (always now+LinkLatency,
+// so the ring stays time-ordered without sorting).
+func (r *vcRouter) pushCredit(at int64, node, port, vc int) {
+	if r.credLen == len(r.credQ) {
+		grown := make([]creditRet, max(64, 2*len(r.credQ)))
+		for i := 0; i < r.credLen; i++ {
+			grown[i] = r.credQ[(r.credHead+i)%len(r.credQ)]
+		}
+		r.credQ = grown
+		r.credHead = 0
 	}
-	r.ticking = true
-	r.m.k.After(1, r.tick)
+	i := r.credHead + r.credLen
+	if i >= len(r.credQ) {
+		i -= len(r.credQ)
+	}
+	r.credQ[i] = creditRet{at: at, node: int32(node), port: int16(port), vc: int16(vc)}
+	r.credLen++
 }
 
-// tick advances the whole network by one cycle.
+// drainCredits applies every credit due by now.
+func (r *vcRouter) drainCredits(now int64) {
+	for r.credLen > 0 {
+		c := &r.credQ[r.credHead]
+		if c.at > now {
+			return
+		}
+		r.nodes[c.node].credits[c.port][c.vc]++
+		r.credHead++
+		if r.credHead == len(r.credQ) {
+			r.credHead = 0
+		}
+		r.credLen--
+	}
+}
+
+// tick advances the whole network by one cycle, or proves the current
+// cycle (and possibly a run of following ones) idle and skips ahead.
 func (r *vcRouter) tick() {
-	r.ticking = false
 	now := r.m.k.Now()
+	r.drainCredits(now)
+	if now < r.wake {
+		// Still inside a proven-frozen window (the kernel pulled the tick
+		// earlier for a heap event that turned out not to inject).
+		r.m.k.TickSkipTo(r.wake)
+		return
+	}
+	progressed := false
 	for i := range r.nodes {
 		nd := &r.nodes[i]
 		if nd.active == 0 {
@@ -196,18 +327,130 @@ func (r *vcRouter) tick() {
 		for j := range nd.usedIn {
 			nd.usedIn[j] = false
 		}
+		if r.wide {
+			for out := 0; out <= r.eject; out++ {
+				if r.serviceOutputScan(i, nd, out, now) {
+					progressed = true
+				}
+			}
+			continue
+		}
 		for out := 0; out <= r.eject; out++ {
-			r.serviceOutput(i, nd, out, now)
+			if nd.cand[out] == 0 {
+				continue
+			}
+			if r.serviceOutput(i, nd, out, now) {
+				progressed = true
+			}
 		}
 	}
-	if r.inFlight > 0 {
-		r.schedule()
+	if r.inFlight == 0 {
+		return // network drained; the next inject re-arms the tick
 	}
+	if progressed {
+		r.wake = 0
+		r.m.k.TickNext()
+		return
+	}
+	// Nothing moved: every staged flit waits on a future arrival, a
+	// pending credit, or a flit that is itself frozen. The state cannot
+	// change before the earliest arrival/credit lands, so skip there.
+	wake := r.nextArrival(now)
+	if r.credLen > 0 && r.credQ[r.credHead].at < wake {
+		wake = r.credQ[r.credHead].at
+	}
+	if wake == math.MaxInt64 {
+		// No future arrival or credit either: a true deadlock. Keep
+		// ticking so the behavior matches the per-cycle model exactly;
+		// the driver's livelock watchdog reports it.
+		r.wake = 0
+		r.m.k.TickNext()
+		return
+	}
+	r.wake = wake
+	r.m.k.TickSkipTo(wake)
 }
 
-// serviceOutput runs VC + switch allocation for one output port: scan the
-// (input port, VC) candidates round-robin and forward the first winner.
-func (r *vcRouter) serviceOutput(n int, nd *vcNode, out int, now int64) {
+// nextArrival returns the earliest strictly-future buffered-flit arrival
+// cycle, or MaxInt64 if none is in flight. Arrivals already due (a flit
+// buffered but blocked on credits or a downstream VC) don't bound the
+// wake horizon — whatever unblocks them is a credit return or another
+// flit's arrival, which the caller accounts separately.
+func (r *vcRouter) nextArrival(now int64) int64 {
+	min := int64(math.MaxInt64)
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		if nd.active == 0 {
+			continue
+		}
+		for p := range nd.in {
+			row := nd.in[p]
+			for v := range row {
+				b := &row[v]
+				if b.pkt != nil && b.arrLen > 0 {
+					if t := b.arrFront(); t > now && t < min {
+						min = t
+					}
+				}
+			}
+		}
+	}
+	return min
+}
+
+// serviceOutput runs VC + switch allocation for one output port: visit the
+// staged (input port, VC) candidates in round-robin order via the port's
+// candidate bitmask and forward the first winner. It reports whether a flit
+// moved. The mask holds exactly the stages with s.pkt != nil and
+// s.outPort == out, so skipping unset bits examines the same eligible
+// candidates, in the same order, as the exhaustive scan.
+func (r *vcRouter) serviceOutput(n int, nd *vcNode, out int, now int64) bool {
+	mask := nd.cand[out]
+	numIn := len(nd.in)
+	start := nd.outRR[out]
+	// Round-robin order from start+1: ids above start ascending, then ids
+	// from 0 through start. A shift count of 64 (start == 63) yields 0 in
+	// Go, correctly leaving no "above" half.
+	above := mask &^ (1<<uint(start+1) - 1)
+	for _, half := range [2]uint64{above, mask &^ above} {
+		for m := half; m != 0; m &= m - 1 {
+			id := bits.TrailingZeros64(m)
+			var s *hopState
+			var buf *inVC
+			inPort, vcIdx := numIn, -1 // defaults: the source queue
+			if id < numIn*r.vcs {
+				inPort, vcIdx = id/r.vcs, id%r.vcs
+				buf = &nd.in[inPort][vcIdx]
+				s = &buf.hopState
+				if buf.arrLen == 0 || buf.arrFront() > now {
+					continue
+				}
+			} else {
+				s = &nd.inj
+			}
+			if nd.usedIn[inPort] {
+				continue
+			}
+			if out != r.eject {
+				if s.downVC < 0 && !r.allocVC(nd, s, out) {
+					continue // no free downstream VC for this header
+				}
+				if nd.credits[out][s.downVC] == 0 {
+					continue // downstream buffer full
+				}
+			}
+			r.forward(n, nd, out, inPort, vcIdx, s, buf, now)
+			nd.outRR[out] = id
+			return true
+		}
+	}
+	return false
+}
+
+// serviceOutputScan is the exhaustive-order fallback used in wide mode
+// (candidate ids beyond 63, i.e. VCs >= 16 on a 4-port topology): scan
+// every (input port, VC) slot round-robin and forward the first winner.
+func (r *vcRouter) serviceOutputScan(n int, nd *vcNode, out int, now int64) bool {
 	numIn := len(nd.in)
 	total := numIn*r.vcs + 1 // +1: the source queue head
 	start := nd.outRR[out]
@@ -220,7 +463,7 @@ func (r *vcRouter) serviceOutput(n int, nd *vcNode, out int, now int64) {
 			inPort, vcIdx = id/r.vcs, id%r.vcs
 			buf = &nd.in[inPort][vcIdx]
 			s = &buf.hopState
-			if len(buf.arrivals) == 0 || buf.arrivals[0] > now {
+			if buf.arrLen == 0 || buf.arrFront() > now {
 				continue
 			}
 		} else {
@@ -239,8 +482,9 @@ func (r *vcRouter) serviceOutput(n int, nd *vcNode, out int, now int64) {
 		}
 		r.forward(n, nd, out, inPort, vcIdx, s, buf, now)
 		nd.outRR[out] = id
-		return
+		return true
 	}
+	return false
 }
 
 // allocVC claims a free downstream input VC in the packet's dateline class
@@ -275,12 +519,13 @@ func (r *vcRouter) allocVC(nd *vcNode, s *hopState, out int) bool {
 		tgt.class = class
 		tgt.axis = r.m.topo.PortAxis(out)
 		tgt.downVC = -1
-		tgt.arrivals = tgt.arrivals[:0]
+		tgt.arrHead, tgt.arrLen = 0, 0
 		if d == s.pkt.dst {
 			tgt.outPort = r.eject
 		} else {
 			tgt.outPort, _ = r.m.topo.NextPort(d, s.pkt.dst)
 		}
+		down.cand[tgt.outPort] |= 1 << uint(tgt.id)
 		down.active++
 		return true
 	}
@@ -296,23 +541,26 @@ func (r *vcRouter) forward(n int, nd *vcNode, out, inPort, vcIdx int, s *hopStat
 	if buf != nil {
 		// The flit frees a buffer slot; the credit reaches the upstream
 		// router one link traversal later.
-		buf.arrivals = buf.arrivals[1:]
+		buf.arrPop()
 		up := nd.ups[inPort]
-		upNode := &r.nodes[up.node]
-		r.m.k.After(r.m.cfg.LinkLatency, func() { upNode.credits[up.port][vcIdx]++ })
+		r.pushCredit(now+r.m.cfg.LinkLatency, up.node, up.port, vcIdx)
 	}
 	if out == r.eject {
 		if tail {
-			r.m.complete(n, s.pkt.payload, s.pkt.injectAt, now)
+			pkt := s.pkt
+			r.m.complete(n, pkt.payload, pkt.injectAt, now)
 			r.inFlight--
 			r.release(n, nd, s)
+			pkt.payload = nil
+			pkt.next = r.pktFree
+			r.pktFree = pkt
 		}
 		return
 	}
 	tgt := &r.nodes[nd.downTo[out]].in[nd.downIn[out]][s.downVC]
-	tgt.arrivals = append(tgt.arrivals, now+r.m.cfg.LinkLatency)
-	if occ := len(tgt.arrivals); occ > r.m.peakVC {
-		r.m.peakVC = occ
+	tgt.arrPush(now + r.m.cfg.LinkLatency)
+	if tgt.arrLen > r.m.peakVC {
+		r.m.peakVC = tgt.arrLen
 	}
 	nd.credits[out][s.downVC]--
 	r.m.linkBusy[n][out]++
@@ -324,12 +572,17 @@ func (r *vcRouter) forward(n int, nd *vcNode, out, inPort, vcIdx int, s *hopStat
 // release retires a packet's stage at this node once its tail has left,
 // freeing the VC (or advancing the source queue) for the next packet.
 func (r *vcRouter) release(n int, nd *vcNode, s *hopState) {
+	nd.cand[s.outPort] &^= 1 << uint(s.id)
 	nd.active--
 	if s == &nd.inj {
-		nd.injQ = nd.injQ[1:]
+		nd.injQ[nd.injHead] = nil // drop the reference for the free list
+		nd.injHead++
 		s.pkt = nil
-		if len(nd.injQ) > 0 {
+		if nd.injHead < len(nd.injQ) {
 			r.startInjection(n, nd)
+		} else {
+			nd.injQ = nd.injQ[:0] // drained: recycle the backing array
+			nd.injHead = 0
 		}
 		return
 	}

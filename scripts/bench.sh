@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the benchmark trajectory snapshot (BENCH_pr5.json).
+# Regenerate the benchmark trajectory snapshot (BENCH_pr6.json).
 #
 # One iteration per benchmark (-benchtime=1x): the headline values are the
 # reported custom metrics — percent-of-MESI figure stacks over the
@@ -7,15 +7,22 @@
 # are fully deterministic. Wall-clock ns/op is recorded but is environment
 # noise; compare metrics, not times, across commits. The Tiny synthetic-
 # pattern benches (BenchmarkAblationSynthetic*, trace replay) track the
-# PR 4 workload axis, and the sweep benches (BenchmarkSweep*: hotspot
+# PR 4 workload axis, the sweep benches (BenchmarkSweep*: hotspot
 # concentration, vc injection-rate curve endpoints) track the PR 5 sweep
-# engine, alongside the figure stacks.
+# engine, and the vc-router throughput benches (BenchmarkSimThroughputVC*)
+# plus the kernel microbenches track the PR 6 hot-path work, alongside the
+# figure stacks. Compare two snapshots with:
+#   go run ./scripts/benchjson -compare BENCH_pr5.json BENCH_pr6.json
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr5.json}"
-go test -bench=. -benchmem -benchtime=1x -run '^$' -timeout 60m . \
-  | tee /dev/stderr \
+out="${1:-BENCH_pr6.json}"
+# The kernel microbenches are too fast for -benchtime=1x to mean anything,
+# so they get a fixed iteration count instead.
+{
+  go test -bench=. -benchmem -benchtime=1x -run '^$' -timeout 60m .
+  go test -bench=. -benchmem -benchtime=100000x -run '^$' ./internal/sim
+} | tee /dev/stderr \
   | go run ./scripts/benchjson > "$out"
 echo "wrote $out" >&2

@@ -2,6 +2,14 @@
 // benchmark-trajectory JSON committed as BENCH_pr<n>.json (see
 // scripts/bench.sh). Each benchmark line becomes one record holding every
 // reported metric (ns/op, B/op, allocs/op and the custom figure metrics).
+//
+// With -compare old.json new.json it instead prints a per-benchmark
+// markdown delta table (ns/op and allocs/op) for the two trajectory
+// snapshots — CI appends it to the job summary — and warns loudly on
+// stderr for every benchmark that got more than 20% slower. Warnings do
+// not fail the command: wall-clock on shared runners is noisy, and the
+// committed trajectory exists precisely so a human can tell a real
+// regression from runner jitter.
 package main
 
 import (
@@ -27,12 +35,26 @@ type output struct {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		if os.Args[1] == "-compare" && len(os.Args) == 4 {
+			if err := compare(os.Args[2], os.Args[3]); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Fprintln(os.Stderr, "usage: benchjson < bench.txt > out.json\n       benchjson -compare old.json new.json")
+		os.Exit(2)
+	}
 	out := output{
 		Tool:    "scripts/bench.sh",
 		Command: "go test -bench=. -benchmem -benchtime=1x -run '^$'",
 		Note: "figure benches aggregate the Small-scale 9x6 matrix; ablation and sweep benches run Tiny. " +
 			"Custom metrics (percent-of-MESI stacks, flit-hops, cycles, curve endpoints) are deterministic; " +
-			"ns/op, B/op and allocs/op are environment-dependent.",
+			"ns/op, B/op and allocs/op are environment-dependent — judge cross-snapshot deltas against an " +
+			"unchanged bench like SimThroughputMESI before blaming the code. PR 6 same-machine before/after " +
+			"for the then-new vc benches (ns/op, 3-iteration runs): SimThroughputVCMESI 277ms->75ms, " +
+			"VCDBypFull 257->87, VCHotspot 53->18, VCUniform 55->19, SweepUniformLoadVC 164->55.",
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -73,4 +95,104 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// regressionPct is the slowdown beyond which a benchmark delta is flagged
+// as a loud warning.
+const regressionPct = 20.0
+
+// compare prints a per-benchmark markdown delta table for two trajectory
+// snapshots and warns on stderr about every >20% ns/op regression.
+func compare(oldPath, newPath string) error {
+	older, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newer, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldIdx := map[string]record{}
+	for _, r := range older.Benchmarks {
+		oldIdx[r.Name] = r
+	}
+	newNames := map[string]bool{}
+
+	fmt.Printf("### Bench trajectory: %s → %s\n\n", oldPath, newPath)
+	fmt.Println("ns/op and allocs/op are environment-dependent; the custom metrics " +
+		"(flit-hops, cycles, curve endpoints) inside the snapshots are the deterministic ground truth.")
+	fmt.Println()
+	fmt.Println("| benchmark | ns/op (old) | ns/op (new) | Δ ns/op | allocs/op (old) | allocs/op (new) | note |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---|")
+
+	var regressions []string
+	for _, nr := range newer.Benchmarks {
+		newNames[nr.Name] = true
+		or, ok := oldIdx[nr.Name]
+		if !ok {
+			fmt.Printf("| %s | — | %s | — | — | %s | new in %s |\n",
+				nr.Name, num(nr.Metrics["ns/op"]), num(nr.Metrics["allocs/op"]), newPath)
+			continue
+		}
+		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		note := ""
+		delta := "—"
+		if oldNs > 0 && newNs > 0 {
+			pct := (newNs - oldNs) / oldNs * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			switch {
+			case pct > regressionPct:
+				note = fmt.Sprintf("⚠️ **>%.0f%% slower**", regressionPct)
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s -> %s ns/op (%+.1f%%)", nr.Name, num(oldNs), num(newNs), pct))
+			case pct < -regressionPct:
+				note = "✅ faster"
+			}
+		}
+		fmt.Printf("| %s | %s | %s | %s | %s | %s | %s |\n",
+			nr.Name, num(oldNs), num(newNs), delta,
+			num(or.Metrics["allocs/op"]), num(nr.Metrics["allocs/op"]), note)
+	}
+	for _, or := range older.Benchmarks {
+		if !newNames[or.Name] {
+			fmt.Printf("| %s | %s | — | — | %s | — | removed in %s |\n",
+				or.Name, num(or.Metrics["ns/op"]), num(or.Metrics["allocs/op"]), newPath)
+		}
+	}
+	fmt.Println()
+	if len(regressions) > 0 {
+		fmt.Printf("**%d benchmark(s) regressed by more than %.0f%% — check whether the cause is the "+
+			"change or the runner before merging.**\n", len(regressions), regressionPct)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "WARNING: bench regression: %s\n", r)
+		}
+	} else {
+		fmt.Printf("No benchmark regressed by more than %.0f%%.\n", regressionPct)
+	}
+	return nil
+}
+
+// loadSnapshot reads one committed BENCH_pr<n>.json trajectory file.
+func loadSnapshot(path string) (*output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var o output
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(o.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &o, nil
+}
+
+// num renders a metric compactly: integers without decimals, everything at
+// full precision otherwise.
+func num(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }
