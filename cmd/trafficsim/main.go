@@ -29,15 +29,22 @@
 //	trafficsim -sweep 'hotspot(t=1..16)' -size tiny -protocols MESI,DeNovo,DBypFull
 //	trafficsim -sweep 'uniform(p=0.01..0.09..0.02)' -router vc
 //	trafficsim -sweep topology=mesh,ring,torus -benchmarks FFT
+//	trafficsim -sweep 'hotspot(t=1..16)' -cachedir /tmp/points   # persists each point
+//	trafficsim -sweep 'hotspot(t=1..16)' -cachedir /tmp/points -resume
+//	trafficsim -sweep 'uniform(p=0.001..0.1..0.0002)' -maxpoints 500 -cachedir /tmp/points
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -65,6 +72,9 @@ func run() (code int) {
 		strings.Join(workloads.SpecNames(), ", ")+" (default: the paper's six)")
 	sweep := flag.String("sweep", "", "sweep one axis and print the assembled curve table: 'axis=v1,v2,...' over "+
 		strings.Join(core.SweepAxisNames(), "|")+", or a workload parameter range like 'hotspot(t=1..16)'")
+	cachedir := flag.String("cachedir", "", "content-addressed sweep-point cache directory: completed points persist here as the sweep runs, and points already present (from any earlier sweep) are served without simulating")
+	resume := flag.Bool("resume", false, "resume an interrupted sweep from -cachedir (rerun the same sweep command; finished points load from the cache)")
+	maxpoints := flag.Int("maxpoints", core.DefaultSweepPointCap, "sweep expansion cap; a sweep that expands past it is an error (raise deliberately for large sweeps, ideally with -cachedir)")
 	record := flag.String("record", "", "record the single workload in -benchmarks to this trace file and exit (run it later with replay(file=...))")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
 	topology := flag.String("topology", "mesh", "NoC topology: "+strings.Join(mesh.TopologyKinds(), ", "))
@@ -88,6 +98,24 @@ func run() (code int) {
 	if (*vcs != 0 || *vcdepth != 0) && *router != "vc" {
 		fmt.Fprintln(os.Stderr, "-vcs/-vcdepth configure the vc router and are dead under any other model; add -router vc")
 		return 2
+	}
+	if *resume && *cachedir == "" {
+		fmt.Fprintln(os.Stderr, "-resume loads finished points from the point cache; add -cachedir (the same one the interrupted run used)")
+		return 2
+	}
+	if *maxpoints < 1 {
+		fmt.Fprintf(os.Stderr, "-maxpoints %d: the sweep cap must be >= 1 (default %d)\n", *maxpoints, core.DefaultSweepPointCap)
+		return 2
+	}
+	if *sweep == "" {
+		explicitFlags := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
+		for _, name := range []string{"cachedir", "resume", "maxpoints"} {
+			if explicitFlags[name] {
+				fmt.Fprintf(os.Stderr, "-%s configures sweep runs and is dead without one; add -sweep\n", name)
+				return 2
+			}
+		}
 	}
 
 	var size workloads.Size
@@ -197,9 +225,9 @@ func run() (code int) {
 		}
 		// Fail fast before any simulation if the spec is malformed,
 		// collides with an explicitly pinned axis, or would be a no-op.
-		// RunSweep re-resolves the spec internally; the duplicate parse
+		// RunSweepOpt re-resolves the spec internally; the duplicate parse
 		// costs microseconds and buys usage errors their exit code 2.
-		s, err := core.ParseSweep(*sweep)
+		s, err := core.ParseSweepLimit(*sweep, *maxpoints)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -208,9 +236,62 @@ func run() (code int) {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		res, err := core.RunSweep(opt, *sweep)
+		// Sweep-level progress replaces the per-cell lines: a long sweep
+		// reports "point i/N" with the axis value and whether the point
+		// came from the cache, so it never looks hung. Cache corruption
+		// is loud even under -q — the entry is resimulated, but silent
+		// self-healing would hide a real problem (disk, tampering).
+		opt.Progress = nil
+		sopt := core.SweepOptions{MaxPoints: *maxpoints}
+		if *cachedir != "" {
+			if sopt.Cache, err = core.OpenPointCache(*cachedir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		sopt.Progress = func(ev core.SweepProgress) {
+			if ev.Status == core.SweepPointCacheCorrupt {
+				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: cache entry corrupt, resimulating: %v\n",
+					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Err)
+				return
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n",
+					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)
+			}
+		}
+		// Interrupts cancel the pool at the next cell boundary instead of
+		// killing the process: completed points are kept (and, with
+		// -cachedir, already persisted), so ^C on a long sweep loses at
+		// most the cells in flight.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		res, err := core.RunSweepOpt(ctx, opt, *sweep, sopt)
+		if res != nil && !*quiet {
+			ncached := 0
+			for _, p := range res.Points {
+				if p.Cached {
+					ncached++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "sweep %s: %d/%d points complete (%d cached, %d simulated)\n",
+				res.Spec, len(res.Points), res.Expected, ncached, len(res.Points)-ncached)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "sweep interrupted")
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if res != nil && len(res.Points) > 0 {
+				if *cachedir != "" {
+					fmt.Fprintf(os.Stderr, "%d/%d points are persisted in %s; rerun the same sweep with -resume to continue\n",
+						len(res.Points), res.Expected, *cachedir)
+				} else {
+					fmt.Fprintf(os.Stderr, "%d/%d points completed but are not persisted; rerun with -cachedir to make sweeps resumable\n",
+						len(res.Points), res.Expected)
+				}
+			}
 			return 1
 		}
 		// The header states only the knobs that are actually pinned across

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,8 +24,14 @@ func main() {
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper")
 	topology := flag.String("topology", "mesh", "NoC topology")
 	router := flag.String("router", "ideal", "router model")
-	workers := flag.Int("workers", 0, "parallel simulations per point (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, shared across all sweep points)")
+	cachedir := flag.String("cachedir", "", "sweep-point cache directory: completed points persist and repeated points load instead of simulating")
+	maxpoints := flag.Int("maxpoints", core.DefaultSweepPointCap, "sweep expansion cap")
 	flag.Parse()
+
+	if *maxpoints < 1 {
+		log.Fatalf("-maxpoints %d: the sweep cap must be >= 1 (default %d)", *maxpoints, core.DefaultSweepPointCap)
+	}
 
 	var size workloads.Size
 	switch *sizeName {
@@ -44,9 +51,8 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	opt := core.MatrixOptions{
-		Size:     size,
-		Workers:  *workers,
-		Progress: func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) },
+		Size:    size,
+		Workers: *workers,
 	}
 	if explicit["topology"] {
 		opt.Topology = *topology
@@ -59,7 +65,7 @@ func main() {
 	// is simply not applied. Otherwise apply the flag, normalized through
 	// the registry so spelling variants of one spec don't surprise anyone
 	// downstream.
-	parsed, err := core.ParseSweep(*spec)
+	parsed, err := core.ParseSweepLimit(*spec, *maxpoints)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,8 +89,26 @@ func main() {
 		}
 	}
 
-	res, err := core.RunSweep(opt, *spec)
+	// Sweep-level progress (point i/N with cache-hit vs simulated) rather
+	// than per-cell lines: the point is the unit a long sweep is watched
+	// in. With -cachedir each completed point persists as the sweep runs,
+	// so a killed run resumes by rerunning the same command.
+	sopt := core.SweepOptions{
+		MaxPoints: *maxpoints,
+		Progress: func(ev core.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n", ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)
+		},
+	}
+	if *cachedir != "" {
+		if sopt.Cache, err = core.OpenPointCache(*cachedir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := core.RunSweepOpt(context.Background(), opt, *spec, sopt)
 	if err != nil {
+		if res != nil && len(res.Points) > 0 && *cachedir != "" {
+			log.Printf("%d/%d points are persisted in %s; rerun to resume", len(res.Points), res.Expected, *cachedir)
+		}
 		log.Fatal(err)
 	}
 	table := res.Table()

@@ -2,13 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/memsys"
-	"repro/internal/workloads"
 )
 
 // The sharded experiment engine: every (benchmark, protocol) cell of a
@@ -17,6 +10,8 @@ import (
 // offers. The discrete-event kernel is fully deterministic and workload
 // Programs are immutable after construction, which makes the parallel
 // matrix bit-identical to the serial one — only wall-clock time changes.
+// Planning (planMatrix) and the shared worker pool (runPlans) live in
+// scheduler.go, where a sweep feeds many plans through the same pool.
 
 // matrixCell indexes one simulation job in matrix order (benchmark-major,
 // the order the old serial double loop used).
@@ -35,191 +30,19 @@ func RunMatrix(opt MatrixOptions) (*Matrix, error) {
 // stops the engine at the next cell boundary; cells already in flight
 // finish first (one cell at tiny scale is well under a second).
 func RunMatrixContext(ctx context.Context, opt MatrixOptions) (*Matrix, error) {
-	if opt.Threads == 0 {
-		opt.Threads = 16
-	}
-	if opt.Protocols == nil {
-		opt.Protocols = ProtocolNames()
-	} else {
-		// Normalize specs up front so whitespace spellings of one
-		// composition share a matrix key (and unknown specs fail before
-		// any cell runs). Two spellings of one configuration would
-		// simulate the same cells twice and print duplicate figure rows,
-		// so duplicates are an error, not a silent double-run.
-		normalized := make([]string, len(opt.Protocols))
-		seen := make(map[string]string, len(opt.Protocols))
-		for i, spec := range opt.Protocols {
-			v, err := ParseProtocol(spec)
-			if err != nil {
-				return nil, err
-			}
-			if prev, dup := seen[v.Spec]; dup {
-				return nil, fmt.Errorf("core: protocols %q and %q are the same configuration %q", prev, spec, v.Spec)
-			}
-			seen[v.Spec] = spec
-			normalized[i] = v.Spec
-		}
-		opt.Protocols = normalized
-	}
-	var benchSpecs []*workloads.Spec
-	if opt.Benchmarks == nil {
-		opt.Benchmarks = workloads.Names()
-	} else {
-		// Normalize workload specs like protocol specs: spelling variants
-		// of one configuration share a matrix key, and unknown benchmarks
-		// fail loudly before any cell runs (the old path silently skipped
-		// them via a nil program). Duplicate canonical specs are an error
-		// for the same reason as duplicate protocols.
-		normalized := make([]string, len(opt.Benchmarks))
-		benchSpecs = make([]*workloads.Spec, len(opt.Benchmarks))
-		seen := make(map[string]string, len(opt.Benchmarks))
-		for i, spec := range opt.Benchmarks {
-			s, err := workloads.ParseSpec(spec)
-			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
-			if prev, dup := seen[s.Canonical]; dup {
-				return nil, fmt.Errorf("core: benchmarks %q and %q are the same workload %q", prev, spec, s.Canonical)
-			}
-			seen[s.Canonical] = spec
-			normalized[i] = s.Canonical
-			benchSpecs[i] = s
-		}
-		opt.Benchmarks = normalized
-	}
-
-	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
-	if opt.Topology != "" {
-		cfg.Topology = opt.Topology
-	}
-	if opt.Router != "" {
-		cfg.Router = opt.Router
-	}
-	if opt.VCs != 0 {
-		cfg.VCs = opt.VCs
-	}
-	if opt.VCDepth != 0 {
-		cfg.VCDepth = opt.VCDepth
-	}
-	if err := cfg.Validate(); err != nil {
+	p, err := planMatrix(opt)
+	if err != nil {
 		return nil, err
 	}
-
-	// Construct each workload once per benchmark and share it across the
-	// protocol cells: EmitOps is a pure function of (phase, thread) over
-	// state frozen at construction, so concurrent readers are safe.
-	progs := make([]memsys.Program, len(opt.Benchmarks))
-	for i, bench := range opt.Benchmarks {
-		var err error
-		if benchSpecs != nil {
-			progs[i], err = benchSpecs[i].Build(opt.Size, opt.Threads)
-		} else {
-			progs[i], err = workloads.ByName(bench, opt.Size, opt.Threads)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+	var hooks poolHooks
+	if opt.Progress != nil {
+		hooks.cellStarted = func(p *matrixPlan, cell int) {
+			c := p.cells[cell]
+			opt.Progress(p.opt.Benchmarks[c.bench], p.opt.Protocols[c.proto])
 		}
 	}
-
-	cells := make([]matrixCell, 0, len(opt.Benchmarks)*len(opt.Protocols))
-	for bi := range opt.Benchmarks {
-		for pi := range opt.Protocols {
-			cells = append(cells, matrixCell{bi, pi})
-		}
+	if err := runPlans(ctx, []*matrixPlan{p}, opt.Workers, hooks); err != nil {
+		return nil, err
 	}
-
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-
-	results := make([]*Result, len(cells))
-	errs := make([]error, len(cells))
-	runCell := func(i int) {
-		c := cells[i]
-		res, err := RunOne(cfg, opt.Protocols[c.proto], progs[c.bench])
-		if err != nil {
-			errs[i] = fmt.Errorf("core: %s/%s: %w",
-				opt.Protocols[c.proto], opt.Benchmarks[c.bench], err)
-			return
-		}
-		results[i] = res
-	}
-
-	if workers <= 1 {
-		// Serial reference mode: cells run in matrix order on the calling
-		// goroutine, exactly like the original double loop.
-		for i := range cells {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if opt.Progress != nil {
-				c := cells[i]
-				opt.Progress(opt.Benchmarks[c.bench], opt.Protocols[c.proto])
-			}
-			if runCell(i); errs[i] != nil {
-				return nil, errs[i]
-			}
-		}
-	} else {
-		var (
-			cursor atomic.Int64 // next cell to claim
-			failed atomic.Bool  // a cell errored: stop claiming new work
-			progMu sync.Mutex   // serializes the Progress callback
-			wg     sync.WaitGroup
-		)
-		cursor.Store(-1)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(cursor.Add(1))
-					if i >= len(cells) || failed.Load() || ctx.Err() != nil {
-						return
-					}
-					if opt.Progress != nil {
-						c := cells[i]
-						progMu.Lock()
-						opt.Progress(opt.Benchmarks[c.bench], opt.Protocols[c.proto])
-						progMu.Unlock()
-					}
-					if runCell(i); errs[i] != nil {
-						failed.Store(true)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err // first error in matrix order, deterministically
-			}
-		}
-	}
-
-	m := &Matrix{
-		Size:       opt.Size,
-		Topology:   cfg.Topology,
-		Router:     cfg.Router,
-		Benchmarks: opt.Benchmarks,
-		Protocols:  opt.Protocols,
-		Results:    make(map[string]map[string]*Result, len(opt.Benchmarks)),
-	}
-	for i, c := range cells {
-		bench := opt.Benchmarks[c.bench]
-		row := m.Results[bench]
-		if row == nil {
-			row = make(map[string]*Result, len(opt.Protocols))
-			m.Results[bench] = row
-		}
-		row[opt.Protocols[c.proto]] = results[i]
-	}
-	return m, nil
+	return p.assemble()
 }

@@ -25,19 +25,25 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/mesh"
 	"repro/internal/waste"
 	"repro/internal/workloads"
 )
 
-// sweepPointCap bounds a single sweep's expansion; a typo like
+// DefaultSweepPointCap bounds a sweep's expansion unless the caller
+// raises it (ParseSweepLimit, trafficsim -maxpoints): a typo like
 // "uniform(p=0.0001..1..0.0001)" should fail loudly, not run for a week.
-const sweepPointCap = 256
+// Genuinely large sweeps opt in to a higher cap explicitly — and should
+// bring a point cache (-cachedir) so a kill doesn't cost the finished
+// points.
+const DefaultSweepPointCap = 256
 
 // SweepAxisInfo describes one engine-level sweep axis for the inventory
 // (cmd/papertables). Workload-parameter axes are not listed here — they
@@ -219,8 +225,8 @@ type SweepSpec struct {
 // expandRange expands one sweep value token: a plain value, an integer
 // range "lo..hi" (step 1) or "lo..hi..step", or a float range with an
 // explicit step ("0.1..0.9..0.2"). Ranges are inclusive of hi when the
-// step lands on it.
-func expandRange(tok string) ([]string, error) {
+// step lands on it, and capped at limit points.
+func expandRange(tok string, limit int) ([]string, error) {
 	if !strings.Contains(tok, "..") {
 		return []string{tok}, nil
 	}
@@ -251,8 +257,8 @@ func expandRange(tok string) ([]string, error) {
 		var out []string
 		for v := lo; v <= hi; v += step {
 			out = append(out, strconv.Itoa(v))
-			if len(out) > sweepPointCap {
-				return nil, fmt.Errorf("range %q expands past %d points", tok, sweepPointCap)
+			if len(out) > limit {
+				return nil, fmt.Errorf("range %q expands past %d points (raise the cap with -maxpoints / ParseSweepLimit)", tok, limit)
 			}
 		}
 		return out, nil
@@ -283,8 +289,8 @@ func expandRange(tok string) ([]string, error) {
 			break
 		}
 		out = append(out, strconv.FormatFloat(v, 'g', -1, 64))
-		if len(out) > sweepPointCap {
-			return nil, fmt.Errorf("range %q expands past %d points", tok, sweepPointCap)
+		if len(out) > limit {
+			return nil, fmt.Errorf("range %q expands past %d points (raise the cap with -maxpoints / ParseSweepLimit)", tok, limit)
 		}
 	}
 	return out, nil
@@ -294,7 +300,7 @@ func expandRange(tok string) ([]string, error) {
 // containing '=' starts a new key and bare pieces extend the previous
 // key's values: "t=1,2,4,p=0.1" is t->[1 2 4], p->[0.1]. Order of first
 // appearance is preserved.
-func splitSweepValues(body string) (keys []string, vals map[string][]string, err error) {
+func splitSweepValues(body string, limit int) (keys []string, vals map[string][]string, err error) {
 	vals = make(map[string][]string)
 	cur := ""
 	for _, piece := range strings.Split(body, ",") {
@@ -318,7 +324,7 @@ func splitSweepValues(body string) (keys []string, vals map[string][]string, err
 		if piece == "" {
 			return nil, nil, fmt.Errorf("option %q: empty value", cur)
 		}
-		expanded, err := expandRange(piece)
+		expanded, err := expandRange(piece, limit)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -333,15 +339,28 @@ func splitSweepValues(body string) (keys []string, vals map[string][]string, err
 // axis, or "family(key=range,...)" over a workload-registry parameter —
 // into a validated SweepSpec without running anything. Every expanded
 // point value is checked against its registry, so a sweep that parses
-// cannot fail on spec resolution mid-run.
+// cannot fail on spec resolution mid-run. The expansion is capped at
+// DefaultSweepPointCap points; ParseSweepLimit raises the cap.
 func ParseSweep(spec string) (*SweepSpec, error) {
+	return ParseSweepLimit(spec, 0)
+}
+
+// ParseSweepLimit is ParseSweep with an explicit point cap (maxPoints <= 0
+// means DefaultSweepPointCap). The cap exists so a typo'd range fails
+// loudly instead of expanding into a week of simulation; sweeps that
+// genuinely need more points raise it deliberately.
+func ParseSweepLimit(spec string, maxPoints int) (*SweepSpec, error) {
+	limit := maxPoints
+	if limit <= 0 {
+		limit = DefaultSweepPointCap
+	}
 	s := strings.TrimSpace(spec)
 	if s == "" {
 		return nil, fmt.Errorf("core: empty sweep spec (axes: %s; or a workload parameter like hotspot(t=1..16))",
 			strings.Join(SweepAxisNames(), ", "))
 	}
 	if i := strings.IndexByte(s, '('); i >= 0 {
-		return parseWorkloadSweep(spec, s, i)
+		return parseWorkloadSweep(spec, s, i, limit)
 	}
 	eq := strings.IndexByte(s, '=')
 	if eq < 0 {
@@ -358,7 +377,7 @@ func ParseSweep(spec string) (*SweepSpec, error) {
 		if tok = strings.TrimSpace(tok); tok == "" {
 			continue
 		}
-		expanded, err := expandRange(tok)
+		expanded, err := expandRange(tok, limit)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep %q: %w", spec, err)
 		}
@@ -367,8 +386,8 @@ func ParseSweep(spec string) (*SweepSpec, error) {
 	if len(values) < 2 {
 		return nil, fmt.Errorf("core: sweep %q has %d point(s); a sweep needs at least 2", spec, len(values))
 	}
-	if len(values) > sweepPointCap {
-		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d)", spec, len(values), sweepPointCap)
+	if len(values) > limit {
+		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d; raise it with -maxpoints / ParseSweepLimit)", spec, len(values), limit)
 	}
 	seen := make(map[string]bool, len(values))
 	for i, v := range values {
@@ -399,12 +418,12 @@ func ParseSweep(spec string) (*SweepSpec, error) {
 // parseWorkloadSweep handles the "family(key=range,...)" form: exactly one
 // parameter carries multiple values and becomes the axis; the rest are
 // fixed for every point.
-func parseWorkloadSweep(orig, s string, paren int) (*SweepSpec, error) {
+func parseWorkloadSweep(orig, s string, paren, limit int) (*SweepSpec, error) {
 	if !strings.HasSuffix(s, ")") {
 		return nil, fmt.Errorf("core: malformed sweep %q: missing ')'", orig)
 	}
 	family := strings.TrimSpace(s[:paren])
-	keys, vals, err := splitSweepValues(s[paren+1 : len(s)-1])
+	keys, vals, err := splitSweepValues(s[paren+1:len(s)-1], limit)
 	if err != nil {
 		return nil, fmt.Errorf("core: sweep %q: %w", orig, err)
 	}
@@ -421,8 +440,8 @@ func parseWorkloadSweep(orig, s string, paren int) (*SweepSpec, error) {
 	if swept == "" {
 		return nil, fmt.Errorf("core: sweep %q: no parameter has multiple values (use a range like t=1..16 or a list like t=1,2,4)", orig)
 	}
-	if len(vals[swept]) > sweepPointCap {
-		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d)", orig, len(vals[swept]), sweepPointCap)
+	if len(vals[swept]) > limit {
+		return nil, fmt.Errorf("core: sweep %q expands to %d points (cap %d; raise it with -maxpoints / ParseSweepLimit)", orig, len(vals[swept]), limit)
 	}
 	sw := &SweepSpec{
 		Axis:     family + "." + swept,
@@ -535,16 +554,91 @@ type SweepPoint struct {
 	Value string
 	// Matrix holds the point's full benchmark x protocol results.
 	Matrix *Matrix
+	// Cached reports that the point was served from the point cache
+	// instead of simulated (bit-identical either way; Load verifies the
+	// configuration and tests pin the equality).
+	Cached bool
 }
 
-// SweepResult is a completed sweep: every point's matrix, in sweep order.
+// SweepResult is a sweep's outcome: every completed point's matrix, in
+// sweep order. A run that was cancelled or hit a failing point returns
+// the points that did complete (len(Points) < Expected) alongside the
+// error, so callers keep — and, with a cache, persist — finished work.
 type SweepResult struct {
 	// Spec is the canonical sweep spelling the result was produced from.
 	Spec string
 	// Axis is the swept knob ("topology", "hotspot.t", ...).
 	Axis string
-	// Points holds the per-point matrices, in sweep order.
+	// Expected is the number of points the sweep expands to;
+	// len(Points) == Expected for a complete run.
+	Expected int
+	// Points holds the per-point matrices of every completed point, in
+	// sweep order (a partial result skips the unfinished points).
 	Points []*SweepPoint
+}
+
+// SweepPointStatus tags a sweep-level progress event.
+type SweepPointStatus int
+
+// The sweep-level progress states, in the order a point can report them.
+const (
+	// SweepPointCached: the point was served from the cache; it will not
+	// simulate.
+	SweepPointCached SweepPointStatus = iota
+	// SweepPointCacheCorrupt: a cache entry for the point exists but
+	// cannot be trusted (Err says why); the point simulates fresh and a
+	// good entry is rewritten on completion.
+	SweepPointCacheCorrupt
+	// SweepPointStarted: the point's first cell was claimed by a worker.
+	SweepPointStarted
+	// SweepPointDone: the point's last cell finished and its matrix is
+	// assembled (and stored, when a cache is attached).
+	SweepPointDone
+)
+
+// String names the status for progress lines.
+func (s SweepPointStatus) String() string {
+	switch s {
+	case SweepPointCached:
+		return "cached"
+	case SweepPointCacheCorrupt:
+		return "cache-corrupt"
+	case SweepPointStarted:
+		return "simulating"
+	case SweepPointDone:
+		return "done"
+	}
+	return fmt.Sprintf("SweepPointStatus(%d)", int(s))
+}
+
+// SweepProgress is one sweep-level progress event: which point (i of N,
+// with its axis value), and what just happened to it. Events for one
+// point arrive in status order; events for different points interleave
+// when the pool runs points concurrently. Callbacks are serialized.
+type SweepProgress struct {
+	// Point is the 0-based index of the point in sweep order; Total is
+	// the sweep's point count.
+	Point, Total int
+	// Axis and Value name the point ("hotspot.t", "4").
+	Axis, Value string
+	// Status says what happened; Err is set for SweepPointCacheCorrupt.
+	Status SweepPointStatus
+	Err    error
+}
+
+// SweepOptions configures RunSweepOpt beyond the per-point MatrixOptions.
+type SweepOptions struct {
+	// Cache, if non-nil, serves repeated points from disk and persists
+	// each point as it completes — which is also what makes a killed
+	// sweep resumable: rerunning the same sweep skips the finished
+	// points. Points the cache cannot key (trace replays) are always
+	// simulated.
+	Cache *PointCache
+	// MaxPoints raises the sweep expansion cap (<= 0 means
+	// DefaultSweepPointCap).
+	MaxPoints int
+	// Progress, if set, receives sweep-level events (serialized).
+	Progress func(SweepProgress)
 }
 
 // RunSweep expands and runs a sweep over a base configuration; see
@@ -553,29 +647,163 @@ func RunSweep(opt MatrixOptions, spec string) (*SweepResult, error) {
 	return RunSweepContext(context.Background(), opt, spec)
 }
 
-// RunSweepContext parses spec, expands it into per-point MatrixOptions on
-// top of opt, and runs the points in sweep order, each through the sharded
-// matrix engine. Points run sequentially — parallelism lives inside each
-// point's matrix (opt.Workers), which keeps peak memory at one matrix and
-// preserves the engine's guarantee: the assembled SweepResult is
-// bit-identical at every worker count. Cancelling ctx stops at the next
-// cell boundary, like RunMatrixContext.
+// RunSweepContext is RunSweepOpt with default SweepOptions (no cache, the
+// default point cap, no sweep-level progress).
 func RunSweepContext(ctx context.Context, opt MatrixOptions, spec string) (*SweepResult, error) {
-	s, err := ParseSweep(spec)
+	return RunSweepOpt(ctx, opt, spec, SweepOptions{})
+}
+
+// RunSweepOpt parses spec, expands it into per-point MatrixOptions on top
+// of opt, and feeds every point's cells through one shared worker pool
+// (opt.Workers wide; see scheduler.go): a point is a batch of cells, the
+// pool claims cells in point-major order, and each point's matrix is
+// assembled the moment its last cell finishes. Scheduling cannot change
+// results — cells are independent deterministic simulations and assembly
+// order is fixed — so the SweepResult is bit-identical at every worker
+// count, cache on or off.
+//
+// With a cache attached, points whose configuration is already stored are
+// served from disk up front (verified against the key's preimage) and
+// completed points are persisted as the sweep runs. Cancelling ctx stops
+// the pool at the next cell boundary; the returned SweepResult then holds
+// every point that completed, alongside the error — nothing finished is
+// discarded, and a cached rerun of the same sweep resumes from there.
+func RunSweepOpt(ctx context.Context, opt MatrixOptions, spec string, sopt SweepOptions) (*SweepResult, error) {
+	s, err := ParseSweepLimit(spec, sopt.MaxPoints)
 	if err != nil {
 		return nil, err
 	}
-	points, err := s.PointOptions(opt)
+	pts, err := s.PointOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{Spec: s.Spec, Axis: s.Axis}
-	for i, po := range points {
-		m, err := RunMatrixContext(ctx, po)
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep point %s = %s: %w", s.Axis, s.Values[i], err)
+	n := len(pts)
+	res := &SweepResult{Spec: s.Spec, Axis: s.Axis, Expected: n}
+
+	var emitMu sync.Mutex
+	emit := func(ev SweepProgress) {
+		if sopt.Progress == nil {
+			return
 		}
-		res.Points = append(res.Points, &SweepPoint{Value: s.Values[i], Matrix: m})
+		ev.Total = n
+		ev.Axis = s.Axis
+		ev.Value = s.Values[ev.Point]
+		emitMu.Lock()
+		sopt.Progress(ev)
+		emitMu.Unlock()
+	}
+	pointErr := func(i int, err error) error {
+		return fmt.Errorf("core: sweep point %s = %s: %w", s.Axis, s.Values[i], err)
+	}
+
+	// Plan every point before anything runs: registry resolution and
+	// config validation fail here, loudly, never mid-sweep. Programs are
+	// built lazily per point, so planning 10,000 points stays cheap.
+	plans := make([]*matrixPlan, n)
+	for i, po := range pts {
+		p, err := planMatrix(po)
+		if err != nil {
+			return res, pointErr(i, err)
+		}
+		plans[i] = p
+	}
+
+	// Serve cached points up front, in sweep order. A corrupt entry is
+	// reported loudly and the point simulates fresh (rewriting a good
+	// entry on completion).
+	matrices := make([]*Matrix, n)
+	cached := make([]bool, n)
+	keys := make([]PointKey, n)
+	haveKey := make([]bool, n)
+	if sopt.Cache != nil {
+		for i, p := range plans {
+			key, err := pointKeyFor(p)
+			if err != nil {
+				if errors.Is(err, ErrUncacheable) {
+					continue
+				}
+				return res, pointErr(i, err)
+			}
+			keys[i], haveKey[i] = key, true
+			m, err := sopt.Cache.Load(key)
+			if err != nil {
+				emit(SweepProgress{Point: i, Status: SweepPointCacheCorrupt, Err: err})
+				continue
+			}
+			if m != nil {
+				matrices[i], cached[i] = m, true
+				emit(SweepProgress{Point: i, Status: SweepPointCached})
+			}
+		}
+	}
+
+	// The remaining points share one pool. runIdx maps pool plan index
+	// back to sweep point index.
+	var toRun []*matrixPlan
+	var runIdx []int
+	for i, p := range plans {
+		if matrices[i] == nil {
+			toRun = append(toRun, p)
+			runIdx = append(runIdx, i)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		pointErrs = make([]error, n)
+		storeErrs []error
+	)
+	var hooks poolHooks
+	if opt.Progress != nil {
+		hooks.cellStarted = func(p *matrixPlan, cell int) {
+			c := p.cells[cell]
+			opt.Progress(p.opt.Benchmarks[c.bench], p.opt.Protocols[c.proto])
+		}
+	}
+	hooks.pointStarted = func(pi int) {
+		emit(SweepProgress{Point: runIdx[pi], Status: SweepPointStarted})
+	}
+	hooks.pointDone = func(pi int, p *matrixPlan) {
+		i := runIdx[pi]
+		m, err := p.assemble()
+		p.progs = nil // the point is done; let a long sweep's programs be collected
+		if err != nil {
+			mu.Lock()
+			pointErrs[i] = err
+			mu.Unlock()
+			return
+		}
+		matrices[i] = m
+		if sopt.Cache != nil && haveKey[i] {
+			if err := sopt.Cache.Store(keys[i], m); err != nil {
+				mu.Lock()
+				storeErrs = append(storeErrs, err)
+				mu.Unlock()
+			}
+		}
+		emit(SweepProgress{Point: i, Status: SweepPointDone})
+	}
+
+	runErr := runPlans(ctx, toRun, opt.Workers, hooks)
+
+	// Assemble every completed point, in sweep order — on success that is
+	// all of them; after a cancel or a point failure it is the partial
+	// result the caller (and the resume machinery) keeps.
+	for i := range plans {
+		if matrices[i] != nil {
+			res.Points = append(res.Points, &SweepPoint{Value: s.Values[i], Matrix: matrices[i], Cached: cached[i]})
+		}
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	for i, err := range pointErrs {
+		if err != nil {
+			return res, pointErr(i, err)
+		}
+	}
+	if len(storeErrs) > 0 {
+		return res, fmt.Errorf("core: sweep point cache: %w", storeErrs[0])
 	}
 	return res, nil
 }
@@ -655,7 +883,10 @@ func (r *SweepResult) Table() *SweepTable {
 func (t *SweepTable) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sweep %s — one curve point per %s value\n", t.Spec, t.Axis)
-	pointW, benchW := len(t.Axis), len("benchmark")
+	// Every text column's width is computed from its content (the
+	// protocol column was once hardcoded to 18 and broke alignment for
+	// longer composed specs).
+	pointW, benchW, protoW := len(t.Axis), len("benchmark"), len("protocol")
 	for _, r := range t.Rows {
 		if len(r.Point) > pointW {
 			pointW = len(r.Point)
@@ -663,8 +894,11 @@ func (t *SweepTable) String() string {
 		if len(r.Bench) > benchW {
 			benchW = len(r.Bench)
 		}
+		if len(r.Protocol) > protoW {
+			protoW = len(r.Protocol)
+		}
 	}
-	fmt.Fprintf(&b, "%-*s %-*s %-18s", pointW, t.Axis, benchW, "benchmark", "protocol")
+	fmt.Fprintf(&b, "%-*s %-*s %-*s", pointW, t.Axis, benchW, "benchmark", protoW, "protocol")
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, " %12s", c)
 	}
@@ -678,7 +912,7 @@ func (t *SweepTable) String() string {
 			b.WriteString("\n")
 		}
 		prev = r.Point
-		fmt.Fprintf(&b, "%-*s %-*s %-18s", pointW, point, benchW, r.Bench, r.Protocol)
+		fmt.Fprintf(&b, "%-*s %-*s %-*s", pointW, point, benchW, r.Bench, protoW, r.Protocol)
 		for i, v := range r.Values {
 			switch t.Columns[i] {
 			case "Traffic", "Cycles", "MaxLat":

@@ -1,11 +1,15 @@
 package core_test
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -258,6 +262,223 @@ func TestSweepOrderingStable(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first.Table(), second.Table()) {
 		t.Error("identical sweeps produced different tables")
+	}
+}
+
+// TestSweepCancelReturnsPartial: cancelling mid-sweep must hand back the
+// points that completed — in sweep order, identical to an uninterrupted
+// run's — alongside the cancellation error, not discard them.
+func TestSweepCancelReturnsPartial(t *testing.T) {
+	const spec = "hotspot(t=1,2,4)"
+	opt := core.MatrixOptions{Size: workloads.Tiny, Protocols: []string{"MESI"}, Workers: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial, err := core.RunSweepOpt(ctx, opt, spec, core.SweepOptions{
+		Progress: func(ev core.SweepProgress) {
+			if ev.Status == core.SweepPointDone {
+				cancel() // first point finished; the serial pool stops at the next job
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial == nil {
+		t.Fatal("cancelled sweep returned no partial result")
+	}
+	if partial.Expected != 3 {
+		t.Errorf("Expected = %d, want 3", partial.Expected)
+	}
+	if len(partial.Points) != 1 {
+		t.Fatalf("partial result has %d points, want 1", len(partial.Points))
+	}
+	if partial.Points[0].Value != "1" {
+		t.Errorf("partial point value %q, want %q (sweep order)", partial.Points[0].Value, "1")
+	}
+
+	full, err := core.RunSweepOpt(context.Background(), opt, spec, core.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(partial.Points[0], full.Points[0]) {
+		t.Error("the completed point of a cancelled sweep differs from an uninterrupted run")
+	}
+}
+
+// TestSweepResumeMatchesFresh is the resume acceptance pin: kill a cached
+// sweep after its first point, rerun the same sweep against the same
+// cache, and the assembled result is deeply equal to an uninterrupted
+// fresh run — with the finished point served from disk, not resimulated.
+func TestSweepResumeMatchesFresh(t *testing.T) {
+	const spec = "hotspot(t=1,2,4)"
+	opt := core.MatrixOptions{Size: workloads.Tiny, Protocols: []string{"MESI"}, Workers: 1}
+	cache, err := core.OpenPointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial, err := core.RunSweepOpt(ctx, opt, spec, core.SweepOptions{
+		Cache: cache,
+		Progress: func(ev core.SweepProgress) {
+			if ev.Status == core.SweepPointDone {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial.Points) != 1 {
+		t.Fatalf("interrupted run completed %d points, want 1", len(partial.Points))
+	}
+
+	var cachedN, simulatedN int
+	resumed, err := core.RunSweepOpt(context.Background(), opt, spec, core.SweepOptions{
+		Cache: cache,
+		Progress: func(ev core.SweepProgress) {
+			switch ev.Status {
+			case core.SweepPointCached:
+				cachedN++
+			case core.SweepPointStarted:
+				simulatedN++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedN != 1 || simulatedN != 2 {
+		t.Errorf("resume served %d points from cache and simulated %d, want 1 and 2", cachedN, simulatedN)
+	}
+
+	fresh, err := core.RunSweepOpt(context.Background(), opt, spec, core.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed.Table(), fresh.Table()) {
+		t.Error("resumed sweep table differs from an uninterrupted fresh run")
+	}
+	for i := range fresh.Points {
+		if !reflect.DeepEqual(resumed.Points[i].Matrix, fresh.Points[i].Matrix) {
+			t.Errorf("point %s: resumed matrix differs from fresh simulation", fresh.Points[i].Value)
+		}
+	}
+}
+
+// TestSweepPointFailureReturnsPartial: a mid-sweep point failure (a replay
+// whose trace file is missing, only discovered when the point builds)
+// names the failing point AND returns the points that completed before it.
+func TestSweepPointFailureReturnsPartial(t *testing.T) {
+	prog, err := workloads.ByName("FFT", workloads.Tiny, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(t.TempDir(), "fft.trc")
+	if err := trace.WriteFile(good, trace.Record(prog)); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope.trc")
+
+	opt := core.MatrixOptions{Size: workloads.Tiny, Protocols: []string{"MESI"}, Workers: 1}
+	res, err := core.RunSweepOpt(context.Background(), opt,
+		"replay(file="+good+","+missing+")", core.SweepOptions{})
+	if err == nil {
+		t.Fatal("sweep with a missing trace file ran without error")
+	}
+	if !strings.Contains(err.Error(), "sweep point replay.file = "+missing) {
+		t.Errorf("error %q does not name the failing point", err)
+	}
+	if res == nil || len(res.Points) != 1 {
+		t.Fatalf("partial result = %+v, want the one completed point", res)
+	}
+	if res.Points[0].Value != good {
+		t.Errorf("completed point value %q, want %q", res.Points[0].Value, good)
+	}
+	if res.Expected != 2 {
+		t.Errorf("Expected = %d, want 2", res.Expected)
+	}
+}
+
+// TestSweepProgressPointIdentity pins the sweep-level progress contract in
+// serial mode: per point, Started then Done, in sweep order, each event
+// carrying the point's index, the sweep total, and the axis value.
+func TestSweepProgressPointIdentity(t *testing.T) {
+	var events []core.SweepProgress
+	opt := core.MatrixOptions{Size: workloads.Tiny, Protocols: []string{"MESI"}, Workers: 1}
+	_, err := core.RunSweepOpt(context.Background(), opt, "hotspot(t=1,2)", core.SweepOptions{
+		Progress: func(ev core.SweepProgress) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.SweepProgress{
+		{Point: 0, Total: 2, Axis: "hotspot.t", Value: "1", Status: core.SweepPointStarted},
+		{Point: 0, Total: 2, Axis: "hotspot.t", Value: "1", Status: core.SweepPointDone},
+		{Point: 1, Total: 2, Axis: "hotspot.t", Value: "2", Status: core.SweepPointStarted},
+		{Point: 1, Total: 2, Axis: "hotspot.t", Value: "2", Status: core.SweepPointDone},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("progress events:\ngot  %+v\nwant %+v", events, want)
+	}
+}
+
+// TestSweepTableStringWidths: every text column's width must come from its
+// content. The protocol column was once hardcoded to 18 characters and
+// broke alignment for longer composed specs; with computed widths every
+// data line of the rendering is the same length.
+func TestSweepTableStringWidths(t *testing.T) {
+	table := &core.SweepTable{
+		Spec:    "protocol=MESI,DValidateL2+DBypL2+FlexL1",
+		Axis:    "protocol",
+		Columns: []string{"Traffic", "Cycles"},
+		Rows: []core.SweepRow{
+			{Point: "MESI", Bench: "FFT", Protocol: "MESI", Values: []float64{100, 2000}},
+			{Point: "DValidateL2+DBypL2+FlexL1", Bench: "FFT", Protocol: "DValidateL2+DBypL2+FlexL1", Values: []float64{90, 1900}},
+		},
+	}
+	lines := strings.Split(table.String(), "\n")
+	width := 0
+	for i, line := range lines[1:] { // lines[0] is the title, blank lines separate points
+		if line == "" {
+			continue
+		}
+		if width == 0 {
+			width = len(line)
+		}
+		if len(line) != width {
+			t.Errorf("line %d is %d chars, want %d:\n%s", i+1, len(line), width, table)
+		}
+	}
+	if got := len("DValidateL2+DBypL2+FlexL1"); width <= got {
+		t.Errorf("rendered width %d does not fit the %d-char protocol", width, got)
+	}
+}
+
+// TestParseSweepLimit: the default cap rejects a 512-point expansion, and
+// an explicit limit admits exactly that many points — the cap is
+// configurable, not a wall.
+func TestParseSweepLimit(t *testing.T) {
+	const spec = "vcs=2..1024..2" // 512 points
+	if _, err := core.ParseSweep(spec); err == nil {
+		t.Error("512-point sweep passed the default cap")
+	} else if !strings.Contains(err.Error(), "raise the cap") {
+		t.Errorf("cap error %q does not say how to raise the cap", err)
+	}
+	if _, err := core.ParseSweepLimit(spec, 511); err == nil {
+		t.Error("512-point sweep passed a 511-point cap")
+	}
+	s, err := core.ParseSweepLimit(spec, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 512 {
+		t.Errorf("expanded to %d points, want 512", len(s.Values))
+	}
+	if s2, err := core.ParseSweepLimit("vcs=2,4", 0); err != nil || len(s2.Values) != 2 {
+		t.Errorf("limit 0 must mean the default cap: %v", err)
 	}
 }
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Kill-and-resume + cache-reuse smoke for the sweep point cache.
+#
+# Three runs of one sweep: an uncached reference, a cached run killed
+# (SIGINT) as soon as its first point lands on disk, and the resumed run
+# that must (a) print a table byte-identical to the reference and (b) only
+# simulate the points the killed run didn't finish. A fourth identical run
+# must simulate nothing at all — the cache-reuse guarantee.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SWEEP='hotspot(t=1..8)'
+NPOINTS=8
+ARGS=(-sweep "$SWEEP" -size tiny -protocols MESI,DeNovo)
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cache="$work/cache"
+
+go build -o "$work/trafficsim" ./cmd/trafficsim
+
+echo "== reference run (no cache)"
+"$work/trafficsim" "${ARGS[@]}" -q > "$work/ref.txt"
+
+# Two workers keep the killed run slow enough that the SIGINT lands while
+# points are still outstanding (in-flight cells finish; later points are
+# abandoned). Worker count cannot change any result — that is the
+# engine's determinism guarantee — so the reference stays comparable.
+echo "== cached run, killed after the first point persists"
+"$work/trafficsim" "${ARGS[@]}" -cachedir "$cache" -workers 2 -q > /dev/null 2>&1 &
+pid=$!
+for _ in $(seq 200); do
+  compgen -G "$cache/*.json" > /dev/null && break
+  sleep 0.05
+done
+compgen -G "$cache/*.json" > /dev/null || { echo "no cache entry appeared before the kill"; exit 1; }
+kill -INT "$pid"
+wait "$pid" && { echo "killed run exited zero, expected 'sweep interrupted'"; exit 1; }
+persisted=$(ls "$cache"/*.json | wc -l)
+[ "$persisted" -lt "$NPOINTS" ] || { echo "kill landed too late: all $persisted points persisted"; exit 1; }
+echo "   killed with $persisted point(s) persisted"
+
+echo "== resumed run: table must be byte-identical to the reference"
+"$work/trafficsim" "${ARGS[@]}" -cachedir "$cache" -resume > "$work/resumed.txt" 2>"$work/resumed.err"
+diff -u "$work/ref.txt" "$work/resumed.txt"
+grep -F "$NPOINTS/$NPOINTS points complete ($persisted cached, $((NPOINTS - persisted)) simulated)" "$work/resumed.err" \
+  || { echo "resumed run did not reuse the $persisted persisted point(s):"; cat "$work/resumed.err"; exit 1; }
+
+echo "== rerun: a fully cached sweep must simulate zero points"
+"$work/trafficsim" "${ARGS[@]}" -cachedir "$cache" -resume > "$work/cached.txt" 2>"$work/cached.err"
+diff -u "$work/ref.txt" "$work/cached.txt"
+grep -F "$NPOINTS/$NPOINTS points complete ($NPOINTS cached, 0 simulated)" "$work/cached.err" \
+  || { echo "rerun simulated points it should have served from cache:"; cat "$work/cached.err"; exit 1; }
+
+echo "resume smoke OK"
