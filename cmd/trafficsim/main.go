@@ -255,6 +255,14 @@ func run() (code int) {
 					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Err)
 				return
 			}
+			// A store failure does not fail the sweep (the point's result
+			// is in the table); it is loud even under -q because a later
+			// -resume will resimulate the unpersisted point.
+			if ev.Status == core.SweepPointStoreFailed {
+				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: completed but not persisted to the cache: %v\n",
+					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Err)
+				return
+			}
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n",
 					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)

@@ -594,6 +594,10 @@ const (
 	// SweepPointDone: the point's last cell finished and its matrix is
 	// assembled (and stored, when a cache is attached).
 	SweepPointDone
+	// SweepPointStoreFailed: the point completed but the cache could not
+	// persist it (Err says why). The sweep's result is unaffected — the
+	// point is in the SweepResult — but a later resume will resimulate it.
+	SweepPointStoreFailed
 )
 
 // String names the status for progress lines.
@@ -607,6 +611,8 @@ func (s SweepPointStatus) String() string {
 		return "simulating"
 	case SweepPointDone:
 		return "done"
+	case SweepPointStoreFailed:
+		return "store-failed"
 	}
 	return fmt.Sprintf("SweepPointStatus(%d)", int(s))
 }
@@ -621,7 +627,8 @@ type SweepProgress struct {
 	Point, Total int
 	// Axis and Value name the point ("hotspot.t", "4").
 	Axis, Value string
-	// Status says what happened; Err is set for SweepPointCacheCorrupt.
+	// Status says what happened; Err is set for SweepPointCacheCorrupt
+	// and SweepPointStoreFailed.
 	Status SweepPointStatus
 	Err    error
 }
@@ -664,7 +671,11 @@ func RunSweepContext(ctx context.Context, opt MatrixOptions, spec string) (*Swee
 //
 // With a cache attached, points whose configuration is already stored are
 // served from disk up front (verified against the key's preimage) and
-// completed points are persisted as the sweep runs. Cancelling ctx stops
+// completed points are persisted as the sweep runs. A failure to persist
+// a point is reported through the sweep progress callback
+// (SweepPointStoreFailed), never as the sweep's error: the result is
+// already in hand, and only a later resume pays for the missing entry by
+// resimulating that point. Cancelling ctx stops
 // the pool at the next cell boundary; the returned SweepResult then holds
 // every point that completed, alongside the error — nothing finished is
 // discarded, and a cached rerun of the same sweep resumes from there.
@@ -748,11 +759,6 @@ func RunSweepOpt(ctx context.Context, opt MatrixOptions, spec string, sopt Sweep
 		}
 	}
 
-	var (
-		mu        sync.Mutex
-		pointErrs = make([]error, n)
-		storeErrs []error
-	)
 	var hooks poolHooks
 	if opt.Progress != nil {
 		hooks.cellStarted = func(p *matrixPlan, cell int) {
@@ -768,17 +774,17 @@ func RunSweepOpt(ctx context.Context, opt MatrixOptions, spec string, sopt Sweep
 		m, err := p.assemble()
 		p.progs = nil // the point is done; let a long sweep's programs be collected
 		if err != nil {
-			mu.Lock()
-			pointErrs[i] = err
-			mu.Unlock()
+			// The cell error stays in p.errs; the post-run scan below
+			// reports it in sweep order.
 			return
 		}
 		matrices[i] = m
 		if sopt.Cache != nil && haveKey[i] {
+			// A store failure must not fail the sweep — the point's result
+			// is in hand; only a later resume pays (it resimulates). Report
+			// it loudly and keep going.
 			if err := sopt.Cache.Store(keys[i], m); err != nil {
-				mu.Lock()
-				storeErrs = append(storeErrs, err)
-				mu.Unlock()
+				emit(SweepProgress{Point: i, Status: SweepPointStoreFailed, Err: err})
 			}
 		}
 		emit(SweepProgress{Point: i, Status: SweepPointDone})
@@ -797,13 +803,22 @@ func RunSweepOpt(ctx context.Context, opt MatrixOptions, spec string, sopt Sweep
 	if runErr != nil {
 		return res, runErr
 	}
-	for i, err := range pointErrs {
-		if err != nil {
-			return res, pointErr(i, err)
+	// A cell failure stops the pool from claiming new work, so the failing
+	// point's remaining count may never reach zero and pointDone (which
+	// would have seen the error via assemble) may never fire for it — the
+	// error then lives only in the plan's cell slots. Scan every point
+	// that did not assemble, in sweep order, and report its first cell
+	// error (cell slots are in matrix order, so the choice is
+	// deterministic under any schedule that ran the same cells).
+	for i, p := range plans {
+		if matrices[i] != nil {
+			continue
 		}
-	}
-	if len(storeErrs) > 0 {
-		return res, fmt.Errorf("core: sweep point cache: %w", storeErrs[0])
+		for _, cerr := range p.errs {
+			if cerr != nil {
+				return res, pointErr(i, cerr)
+			}
+		}
 	}
 	return res, nil
 }

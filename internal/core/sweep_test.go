@@ -3,6 +3,8 @@ package core_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -399,6 +401,101 @@ func TestSweepPointFailureReturnsPartial(t *testing.T) {
 	}
 	if res.Expected != 2 {
 		t.Errorf("Expected = %d, want 2", res.Expected)
+	}
+}
+
+// TestSweepMultiCellPointFailure: a cell failure inside a MULTI-cell point
+// must fail the sweep. The pool stops claiming work on the first cell
+// error, so the failing point's remaining count never reaches zero and
+// pointDone never fires for it — the error used to be visible only
+// through that hook, and a two-protocol point's failure was silently
+// swallowed (partial result, nil error). The post-run scan of unassembled
+// plans is the regression under test, at both worker modes.
+func TestSweepMultiCellPointFailure(t *testing.T) {
+	prog, err := workloads.ByName("FFT", workloads.Tiny, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(t.TempDir(), "fft.trc")
+	if err := trace.WriteFile(good, trace.Record(prog)); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope.trc")
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opt := core.MatrixOptions{
+				Size:      workloads.Tiny,
+				Protocols: []string{"MESI", "DeNovo"}, // two cells per point
+				Workers:   workers,
+			}
+			res, err := core.RunSweepOpt(context.Background(), opt,
+				"replay(file="+good+","+missing+")", core.SweepOptions{})
+			if err == nil {
+				t.Fatal("multi-cell point failure returned a nil error (partial result passed off as complete)")
+			}
+			if !strings.Contains(err.Error(), "sweep point replay.file = "+missing) {
+				t.Errorf("error %q does not name the failing point", err)
+			}
+			if res == nil || len(res.Points) != 1 || res.Points[0].Value != good {
+				t.Errorf("partial result = %+v, want exactly the completed %s point", res, good)
+			}
+		})
+	}
+}
+
+// TestSweepCacheStoreFailureIsWarning: a cache that cannot persist points
+// must not fail the sweep — every point's result is still in hand, so the
+// sweep completes with a nil error and the failure surfaces as
+// SweepPointStoreFailed progress events (a later resume resimulates).
+func TestSweepCacheStoreFailureIsWarning(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	cache, err := core.OpenPointCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the cache directory with a regular file: every Load and
+	// Store now fails (ENOTDIR), even when the tests run as root — unlike
+	// permission bits, which root ignores.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var storeFailed []core.SweepProgress
+	opt := core.MatrixOptions{Size: workloads.Tiny, Protocols: []string{"MESI"}, Workers: 1}
+	res, err := core.RunSweepOpt(context.Background(), opt, "hotspot(t=1,2)", core.SweepOptions{
+		Cache: cache,
+		Progress: func(ev core.SweepProgress) {
+			if ev.Status == core.SweepPointStoreFailed {
+				storeFailed = append(storeFailed, ev)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("a fully completed sweep returned an error for a cache store failure: %v", err)
+	}
+	if res.Expected != 2 || len(res.Points) != 2 {
+		t.Fatalf("got %d/%d points, want the complete sweep", len(res.Points), res.Expected)
+	}
+	if len(storeFailed) != 2 {
+		t.Fatalf("got %d SweepPointStoreFailed events, want one per point", len(storeFailed))
+	}
+	for _, ev := range storeFailed {
+		if ev.Err == nil {
+			t.Errorf("store-failed event for point %d carries no error", ev.Point)
+		}
+	}
+
+	// The unpersisted sweep must still match an uncached fresh run.
+	fresh, err := core.RunSweepOpt(context.Background(), opt, "hotspot(t=1,2)", core.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Table(), fresh.Table()) {
+		t.Error("sweep with a failing cache store differs from an uncached run")
 	}
 }
 

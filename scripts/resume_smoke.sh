@@ -22,22 +22,39 @@ go build -o "$work/trafficsim" ./cmd/trafficsim
 echo "== reference run (no cache)"
 "$work/trafficsim" "${ARGS[@]}" -q > "$work/ref.txt"
 
-# Two workers keep the killed run slow enough that the SIGINT lands while
-# points are still outstanding (in-flight cells finish; later points are
-# abandoned). Worker count cannot change any result — that is the
-# engine's determinism guarantee — so the reference stays comparable.
+# One worker keeps the killed run serial (the widest window between the
+# first persisted point and the last), and the whole kill phase retries:
+# on a fast runner the sweep can still finish before the 50ms-granularity
+# poll spots the first cache entry and the SIGINT lands, which is a lost
+# race, not a failure. Worker count cannot change any result — that is
+# the engine's determinism guarantee — so the reference stays comparable.
 echo "== cached run, killed after the first point persists"
-"$work/trafficsim" "${ARGS[@]}" -cachedir "$cache" -workers 2 -q > /dev/null 2>&1 &
-pid=$!
-for _ in $(seq 200); do
-  compgen -G "$cache/*.json" > /dev/null && break
-  sleep 0.05
+persisted=
+for attempt in 1 2 3 4 5; do
+  rm -rf "$cache"
+  "$work/trafficsim" "${ARGS[@]}" -cachedir "$cache" -workers 1 -q > /dev/null 2>&1 &
+  pid=$!
+  for _ in $(seq 200); do
+    compgen -G "$cache/*.json" > /dev/null && break
+    kill -0 "$pid" 2> /dev/null || break
+    sleep 0.05
+  done
+  kill -INT "$pid" 2> /dev/null || true
+  if wait "$pid"; then
+    echo "   attempt $attempt: sweep finished before the kill landed; retrying"
+    continue
+  fi
+  compgen -G "$cache/*.json" > /dev/null \
+    || { echo "   attempt $attempt: killed before any point persisted; retrying"; continue; }
+  n=$(ls "$cache"/*.json | wc -l)
+  if [ "$n" -ge "$NPOINTS" ]; then
+    echo "   attempt $attempt: all $n points persisted before the kill; retrying"
+    continue
+  fi
+  persisted=$n
+  break
 done
-compgen -G "$cache/*.json" > /dev/null || { echo "no cache entry appeared before the kill"; exit 1; }
-kill -INT "$pid"
-wait "$pid" && { echo "killed run exited zero, expected 'sweep interrupted'"; exit 1; }
-persisted=$(ls "$cache"/*.json | wc -l)
-[ "$persisted" -lt "$NPOINTS" ] || { echo "kill landed too late: all $persisted points persisted"; exit 1; }
+[ -n "$persisted" ] || { echo "kill never landed mid-sweep in 5 attempts"; exit 1; }
 echo "   killed with $persisted point(s) persisted"
 
 echo "== resumed run: table must be byte-identical to the reference"
