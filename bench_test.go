@@ -235,6 +235,27 @@ func BenchmarkSimThroughputVCUniform(b *testing.B) {
 	ablationRun(b, "MESI", "uniform", vcRun)
 }
 
+// Mesh-scaling throughput (the PR 8 geometry axis): the same vc-router
+// end-to-end runs on re-dimensioned fabrics. The 16 worker threads map to
+// the first 16 of 64/256 tiles, so the larger grids are sparser — on a
+// 16x16 mesh with a single hot tile most of the fabric idles, which is
+// exactly the case the O(active) tick path (active-node bitmask instead
+// of a per-cycle scan of all 256 routers) exists for.
+func mesh8x8VCRun(c *memsys.Config)   { *c = c.WithMesh(8, 8); c.Router = "vc" }
+func mesh16x16VCRun(c *memsys.Config) { *c = c.WithMesh(16, 16); c.Router = "vc" }
+
+func BenchmarkSimThroughputVCMesh8x8(b *testing.B) {
+	ablationRun(b, "MESI", "uniform", mesh8x8VCRun)
+}
+
+func BenchmarkSimThroughputVCMesh16x16(b *testing.B) {
+	ablationRun(b, "MESI", "uniform", mesh16x16VCRun)
+}
+
+func BenchmarkSimThroughputVCSparseHotspot16x16(b *testing.B) {
+	ablationRun(b, "MESI", "hotspot(t=1)", mesh16x16VCRun)
+}
+
 // Extension beyond the paper (its §6 follow-up): hardware counter-based
 // reuse prediction for L2 bypass instead of software annotations.
 // Compare with the software-annotated DBypL2 on the same benchmark.

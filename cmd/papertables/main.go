@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -17,7 +18,16 @@ import (
 )
 
 func main() {
+	meshDims := flag.String("mesh", "4x4", "tile-grid dimensions WxH to render Table 4.1 and the topology inventory at (e.g. "+
+		strings.Join(core.MeshPresets(), ", ")+")")
+	flag.Parse()
+
 	cfg := memsys.Default()
+	if w, h, err := memsys.ParseMeshDims(*meshDims); err != nil {
+		log.Fatal(err)
+	} else {
+		cfg = cfg.WithMesh(w, h)
+	}
 	fmt.Println("Table 4.1 — Simulated system parameters")
 	rows := [][2]string{
 		{"Core", "2 GHz, in-order (1 cycle per non-memory instruction)"},
@@ -76,9 +86,10 @@ func main() {
 		fmt.Printf("    %-8s [%s] %s\n", o.Token, strings.Join(o.Families, ","), o.Desc)
 	}
 	registryWorkloads := workloads.RegistryWorkloads()
-	nScenarios := core.ScenarioCount(len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()))
-	fmt.Printf("\n  Scenario space: %d registered protocols x %d workloads x %d topologies x %d routers = %d configurations\n",
-		len(inventory), len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), nScenarios)
+	meshPresets := core.MeshPresets()
+	nScenarios := core.ScenarioCount(len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), len(meshPresets))
+	fmt.Printf("\n  Scenario space: %d registered protocols x %d workloads x %d topologies x %d routers x %d mesh presets = %d configurations\n",
+		len(inventory), len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), len(meshPresets), nScenarios)
 
 	fmt.Println("\nWorkload registry (trafficsim -benchmarks; specs are name(key=value,...))")
 	fmt.Printf("  %-10s %-9s %s\n", "name", "kind", "description")
@@ -117,6 +128,7 @@ func main() {
 		"trafficsim -sweep 'uniform(p=0.01..0.09..0.02)' # load-latency curve vs injection rate",
 		"trafficsim -sweep 'hotspot(t=1,2,4,p=0.1)'      # value list, fixed co-parameter",
 		"trafficsim -sweep vcs=2,4,8 -router vc          # buffer ablation on the vc router",
+		"trafficsim -sweep mesh=4x4,8x8,16x16 -router vc # scaling curve vs fabric size",
 	} {
 		fmt.Printf("    %s\n", ex)
 	}

@@ -10,8 +10,8 @@
 // ported benchmarks, synthetic traffic patterns with optional parameters
 // (uniform, transpose, bitcomp, hotspot, neighbor, prodcons), or recorded
 // traces. Sweeps are "axis=value,value,..." over an engine axis (topology,
-// router, vcs, vcdepth, threads, protocol) or "family(key=lo..hi)" over a
-// workload parameter (see cmd/papertables for all inventories, and
+// router, mesh, vcs, vcdepth, threads, protocol) or "family(key=lo..hi)"
+// over a workload parameter (see cmd/papertables for all inventories, and
 // docs/GUIDE.md for a walkthrough).
 //
 // Examples:
@@ -23,6 +23,8 @@
 //	trafficsim -fig 5.1a -protocols MESI,DeNovo,DeNovo+BypL2,DFlexL1+BypFull
 //	trafficsim -fig 5.1a -topology torus -workers 8
 //	trafficsim -fig net -router vc -size tiny -benchmarks FFT
+//	trafficsim -fig net -router vc -mesh 8x8 -benchmarks 'hotspot(t=2)'
+//	trafficsim -sweep mesh=4x4,8x8,16x16 -router vc -benchmarks 'hotspot(t=2)'
 //	trafficsim -fig net -router vc -benchmarks 'uniform(p=0.1),hotspot(t=2),transpose'
 //	trafficsim -record /tmp/fft.trc -benchmarks FFT -size tiny
 //	trafficsim -fig 5.1a -benchmarks 'replay(file=/tmp/fft.trc)'
@@ -47,6 +49,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -77,6 +80,8 @@ func run() (code int) {
 	maxpoints := flag.Int("maxpoints", core.DefaultSweepPointCap, "sweep expansion cap; a sweep that expands past it is an error (raise deliberately for large sweeps, ideally with -cachedir)")
 	record := flag.String("record", "", "record the single workload in -benchmarks to this trace file and exit (run it later with replay(file=...))")
 	threads := flag.Int("threads", 16, "worker threads (= cores used)")
+	meshDims := flag.String("mesh", "4x4", "tile-grid dimensions WxH (e.g. "+
+		strings.Join(core.MeshPresets(), ", ")+"); tiles, corner MC placement and Bloom banks follow, and -threads must not exceed the tile count")
 	topology := flag.String("topology", "mesh", "NoC topology: "+strings.Join(mesh.TopologyKinds(), ", "))
 	router := flag.String("router", "ideal", "router model: "+routerHelp())
 	vcs := flag.Int("vcs", 0, "vc router: virtual channels per input port (0 = model default; even, >= 2)")
@@ -202,6 +207,14 @@ func run() (code int) {
 	if explicit["threads"] {
 		opt.Threads = *threads
 	}
+	if explicit["mesh"] {
+		w, h, err := memsys.ParseMeshDims(*meshDims)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		opt.MeshWidth, opt.MeshHeight = w, h
+	}
 	if explicit["topology"] {
 		opt.Topology = *topology
 	}
@@ -306,6 +319,9 @@ func run() (code int) {
 		// the whole sweep — never the axis being swept (the conflict check
 		// above already rules out pinning that one explicitly).
 		var pins []string
+		if explicit["mesh"] && s.Axis != "mesh" {
+			pins = append(pins, "mesh: "+memsys.FormatMeshDims(opt.MeshWidth, opt.MeshHeight))
+		}
 		if explicit["topology"] && s.Axis != "topology" {
 			pins = append(pins, "topology: "+*topology)
 		}
@@ -325,8 +341,12 @@ func run() (code int) {
 		return 1
 	}
 
-	if m.Topology != "mesh" || m.Router != "ideal" {
-		fmt.Printf("NoC topology: %s, router: %s\n\n", m.Topology, m.Router)
+	if m.Topology != "mesh" || m.Router != "ideal" || explicit["mesh"] {
+		header := fmt.Sprintf("NoC topology: %s, router: %s", m.Topology, m.Router)
+		if explicit["mesh"] {
+			header += ", mesh: " + memsys.FormatMeshDims(opt.MeshWidth, opt.MeshHeight)
+		}
+		fmt.Printf("%s\n\n", header)
 	}
 
 	if *fig != "" {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/workloads"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	spec := flag.String("sweep", "hotspot(t=1..16)", "sweep spec: axis=v1,v2,... or workload(key=lo..hi)")
 	protoCSV := flag.String("protocols", "MESI,DeNovo,DBypFull", "comma-separated protocol specs (the curve family)")
 	sizeName := flag.String("size", "tiny", "input scale: tiny, small, paper")
+	meshDims := flag.String("mesh", "4x4", "tile-grid dimensions WxH (e.g. "+strings.Join(core.MeshPresets(), ", ")+")")
 	topology := flag.String("topology", "mesh", "NoC topology")
 	router := flag.String("router", "ideal", "router model")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per CPU, shared across all sweep points)")
@@ -53,6 +55,13 @@ func main() {
 	opt := core.MatrixOptions{
 		Size:    size,
 		Workers: *workers,
+	}
+	if explicit["mesh"] {
+		w, h, err := memsys.ParseMeshDims(*meshDims)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.MeshWidth, opt.MeshHeight = w, h
 	}
 	if explicit["topology"] {
 		opt.Topology = *topology

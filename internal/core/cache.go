@@ -42,9 +42,10 @@ import (
 
 // cacheModelVersion stamps every point key with the simulation model's
 // generation. Bump it whenever simulated results change — i.e. whenever
-// the golden snapshots are regenerated — so stale entries from an older
-// model miss instead of being served as current results.
-const cacheModelVersion = 1
+// the golden snapshots are regenerated — OR whenever the preimage gains a
+// field, so entries written before the field existed can never alias a
+// point that pins it. v2 added the mesh dimensions.
+const cacheModelVersion = 2
 
 // ErrUncacheable marks a point whose results depend on state the
 // configuration hash cannot see (a trace replay's file contents); such
@@ -75,6 +76,7 @@ func pointKeyFor(p *matrixPlan) (PointKey, error) {
 	fmt.Fprintf(&b, "repro point cache v%d\n", cacheModelVersion)
 	fmt.Fprintf(&b, "size=%d\n", int(p.opt.Size))
 	fmt.Fprintf(&b, "threads=%d\n", p.opt.Threads)
+	fmt.Fprintf(&b, "mesh=%dx%d\n", p.cfg.MeshWidth, p.cfg.MeshHeight)
 	fmt.Fprintf(&b, "topology=%s\n", p.cfg.Topology)
 	fmt.Fprintf(&b, "router=%s\n", p.cfg.Router)
 	fmt.Fprintf(&b, "vcs=%d\n", p.cfg.VCs)

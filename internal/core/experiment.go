@@ -143,6 +143,12 @@ type MatrixOptions struct {
 	// Topology selects the NoC topology for every cell: "mesh" (default),
 	// "ring", or "torus".
 	Topology string
+	// MeshWidth and MeshHeight re-dimension the tile grid for every cell
+	// (0,0 = the paper's 4x4). Both must be set together; the tile count,
+	// corner MC placement and Bloom bank geometry follow the dimensions
+	// (memsys.Config.WithMesh), and Threads must not exceed the tile count.
+	MeshWidth  int
+	MeshHeight int
 	// Router selects the fabric's forwarding model for every cell:
 	// "ideal" (default) or "vc" (the cycle-level VC wormhole router).
 	Router string

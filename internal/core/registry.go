@@ -253,7 +253,8 @@ func RegistryInventory() []*Variant {
 
 // ScenarioCount returns the size of the scenario space the registry and
 // engine expose: registered protocols x benchmarks x topologies x router
-// models.
-func ScenarioCount(benchmarks, topologies, routers int) int {
-	return len(RegistryInventory()) * benchmarks * topologies * routers
+// models x mesh presets (the mesh axis accepts arbitrary WxH, so the
+// preset count is the enumerable floor, not a ceiling).
+func ScenarioCount(benchmarks, topologies, routers, meshes int) int {
+	return len(RegistryInventory()) * benchmarks * topologies * routers * meshes
 }

@@ -105,6 +105,21 @@ func planMatrix(opt MatrixOptions) (*matrixPlan, error) {
 	}
 
 	cfg := memsys.Default().Scaled(opt.Size.ScaleDiv())
+	if opt.MeshWidth != 0 || opt.MeshHeight != 0 {
+		// Both dimensions travel together: a half-set pair would silently
+		// simulate a shape the caller never asked for.
+		if opt.MeshWidth < 1 || opt.MeshHeight < 1 {
+			return nil, fmt.Errorf("core: mesh dimensions %dx%d: set both MeshWidth and MeshHeight to >= 1", opt.MeshWidth, opt.MeshHeight)
+		}
+		if opt.MeshWidth*opt.MeshHeight < 2 {
+			return nil, fmt.Errorf("core: mesh dimensions %dx%d: a 1-tile network has no links; use at least 2 tiles", opt.MeshWidth, opt.MeshHeight)
+		}
+		cfg = cfg.WithMesh(opt.MeshWidth, opt.MeshHeight)
+	}
+	if opt.Threads > cfg.Tiles {
+		return nil, fmt.Errorf("core: threads %d > tiles %d (%dx%d mesh); cores map one-per-tile, so shrink Threads/-threads or grow the mesh",
+			opt.Threads, cfg.Tiles, cfg.MeshWidth, cfg.MeshHeight)
+	}
 	if opt.Topology != "" {
 		cfg.Topology = opt.Topology
 	}

@@ -32,10 +32,19 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/waste"
 	"repro/internal/workloads"
 )
+
+// MeshPresets are the mesh-dimension values the inventory advertises for
+// the mesh axis (the paper's 4x4 plus the 64- and 256-tile scaling
+// points). The axis itself accepts any WxH that memsys.ParseMeshDims
+// does — these are the catalog entries, not a closed vocabulary.
+func MeshPresets() []string {
+	return []string{"4x4", "8x8", "16x16"}
+}
 
 // DefaultSweepPointCap bounds a sweep's expansion unless the caller
 // raises it (ParseSweepLimit, trafficsim -maxpoints): a typo like
@@ -99,6 +108,22 @@ var sweepAxes = []sweepAxisDef{
 		values:    mesh.RouterKinds,
 		conflicts: func(o MatrixOptions) bool { return o.Router != "" },
 		apply:     func(o *MatrixOptions, v string) { o.Router = v },
+	},
+	{
+		name: "mesh", desc: "tile-grid dimensions WxH for every cell (tiles, MC corners and Bloom banks follow)",
+		values: MeshPresets,
+		hint:   "WxH, e.g. 4x4, 8x8, 16x16",
+		norm: func(v string) (string, error) {
+			w, h, err := memsys.ParseMeshDims(v)
+			if err != nil {
+				return "", err
+			}
+			return memsys.FormatMeshDims(w, h), nil
+		},
+		conflicts: func(o MatrixOptions) bool { return o.MeshWidth != 0 || o.MeshHeight != 0 },
+		apply: func(o *MatrixOptions, v string) {
+			o.MeshWidth, o.MeshHeight = mustParseMesh(v)
+		},
 	},
 	{
 		name: "vcs", desc: "vc router virtual channels per input port (even, >= 2)",
@@ -165,6 +190,15 @@ func mustAtoi(v string) int {
 		panic("core: unvalidated sweep value: " + v)
 	}
 	return n
+}
+
+// mustParseMesh converts a mesh value the axis check already validated.
+func mustParseMesh(v string) (width, height int) {
+	w, h, err := memsys.ParseMeshDims(v)
+	if err != nil {
+		panic("core: unvalidated sweep value: " + v)
+	}
+	return w, h
 }
 
 func sweepAxisByName(name string) *sweepAxisDef {

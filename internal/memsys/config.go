@@ -9,6 +9,8 @@ package memsys
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/bloom"
 	"repro/internal/dram"
@@ -88,6 +90,72 @@ type Config struct {
 	Bloom bloom.BankConfig // L2 request-bypass filter geometry (§4.4)
 }
 
+// CornerTiles returns the memory-controller placement for a width x height
+// grid: the four corner tiles, deduplicated in row-major order for
+// degenerate shapes (a 1-wide or 1-tall grid has fewer distinct corners,
+// and a 1x1 grid exactly one). This is the generalization of the paper's
+// {0, 3, 12, 15} on the 4x4 mesh; the ring linearizes the same tiles, so
+// the corner indexes stay valid on every topology.
+func CornerTiles(width, height int) []int {
+	corners := []int{0, width - 1, (height - 1) * width, height*width - 1}
+	out := corners[:0]
+	for _, c := range corners {
+		dup := false
+		for _, prev := range out {
+			if prev == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParseMeshDims parses a "WxH" mesh-dimension string ("4x4", "8x8",
+// "16x16") into its width and height. Degenerate shapes fail loudly:
+// missing parts ("3x"), non-integers, and non-positive dimensions ("0x4")
+// are errors, and so is a single-tile 1x1 grid (no second tile to talk
+// to — every NoC quantity would be degenerate).
+func ParseMeshDims(s string) (width, height int, err error) {
+	parts := strings.Split(strings.TrimSpace(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("memsys: mesh dimensions %q are not WxH (e.g. 4x4, 8x8)", s)
+	}
+	w, werr := strconv.Atoi(strings.TrimSpace(parts[0]))
+	h, herr := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if werr != nil || herr != nil {
+		return 0, 0, fmt.Errorf("memsys: mesh dimensions %q are not WxH with integer parts", s)
+	}
+	if w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("memsys: mesh dimensions %dx%d: both must be >= 1", w, h)
+	}
+	if w*h < 2 {
+		return 0, 0, fmt.Errorf("memsys: mesh dimensions %dx%d: a 1-tile network has no links; use at least 2 tiles", w, h)
+	}
+	return w, h, nil
+}
+
+// FormatMeshDims renders mesh dimensions in the canonical "WxH" spelling.
+func FormatMeshDims(width, height int) string {
+	return fmt.Sprintf("%dx%d", width, height)
+}
+
+// WithMesh returns a copy of c re-dimensioned to a width x height grid:
+// Tiles, the corner memory-controller placement, and the Bloom bank
+// geometry (one bank per L2 slice) all follow the dimensions. Per-tile
+// cache and link parameters are unchanged — scaling the fabric scales the
+// aggregate capacity with it, as a real tiled CMP would.
+func (c Config) WithMesh(width, height int) Config {
+	c.MeshWidth, c.MeshHeight = width, height
+	c.Tiles = width * height
+	c.MCTiles = CornerTiles(width, height)
+	c.Bloom = bloom.DefaultBankConfig(c.Tiles)
+	return c
+}
+
 // Default returns the paper's simulated system (Table 4.1): 16 tiles, 2 GHz
 // in-order cores, 32 KB 8-way L1s, 256 KB 16-way L2 slices (4 MB total),
 // 4x4 mesh with 16-byte links and 3-cycle link latency, packets of at most
@@ -120,7 +188,7 @@ func Default() Config {
 
 		RetryBackoff: 24,
 
-		MCTiles: []int{0, 3, 12, 15},
+		MCTiles: CornerTiles(4, 4),
 		DRAM:    dram.DefaultConfig(),
 		Bloom:   bloom.DefaultBankConfig(16),
 	}
@@ -166,9 +234,27 @@ func (c Config) Validate() error {
 	if len(c.MCTiles) == 0 {
 		return fmt.Errorf("memsys: no memory controllers")
 	}
+	// The memory-controller placement must track the mesh dimensions: the
+	// hardcoded 4x4 corners {0, 3, 12, 15} silently land on interior (or
+	// out-of-range) tiles of any other grid, skewing every to-MC route
+	// length. Each MC tile must be in range and a corner of this grid —
+	// configs that re-dimension the mesh go through WithMesh, which keeps
+	// the placement in sync.
+	corners := CornerTiles(c.MeshWidth, c.MeshHeight)
 	for _, t := range c.MCTiles {
 		if t < 0 || t >= c.Tiles {
-			return fmt.Errorf("memsys: MC tile %d out of range", t)
+			return fmt.Errorf("memsys: MC tile %d out of range for %d tiles", t, c.Tiles)
+		}
+		isCorner := false
+		for _, corner := range corners {
+			if t == corner {
+				isCorner = true
+				break
+			}
+		}
+		if !isCorner {
+			return fmt.Errorf("memsys: MC tile %d is not a corner of the %dx%d mesh (corners: %v); use WithMesh to re-dimension",
+				t, c.MeshWidth, c.MeshHeight, corners)
 		}
 	}
 	if c.MaxDataFlits <= 0 {

@@ -1,0 +1,97 @@
+package memsys
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCornerTiles(t *testing.T) {
+	cases := []struct {
+		w, h int
+		want []int
+	}{
+		{4, 4, []int{0, 3, 12, 15}}, // the paper's MC placement
+		{8, 8, []int{0, 7, 56, 63}},
+		{16, 16, []int{0, 15, 240, 255}},
+		{2, 8, []int{0, 1, 14, 15}},
+		{1, 4, []int{0, 3}},  // 1-wide: left and right corners coincide
+		{4, 1, []int{0, 3}},  // 1-tall: top and bottom coincide
+		{1, 1, []int{0}},     // degenerate, rejected elsewhere
+	}
+	for _, c := range cases {
+		if got := CornerTiles(c.w, c.h); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("CornerTiles(%d, %d) = %v, want %v", c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestParseMeshDims(t *testing.T) {
+	for _, s := range []string{"4x4", " 8x8 ", "16x16", "2x3", "1x2"} {
+		w, h, err := ParseMeshDims(s)
+		if err != nil {
+			t.Errorf("ParseMeshDims(%q): %v", s, err)
+			continue
+		}
+		if FormatMeshDims(w, h) != strings.ReplaceAll(strings.TrimSpace(s), " ", "") {
+			t.Errorf("ParseMeshDims(%q) = %dx%d", s, w, h)
+		}
+	}
+	for _, s := range []string{"", "4", "3x", "x4", "0x4", "4x0", "-1x4", "1x1", "4x4x4", "axb", "4.5x4"} {
+		if _, _, err := ParseMeshDims(s); err == nil {
+			t.Errorf("ParseMeshDims(%q) accepted a degenerate shape", s)
+		}
+	}
+}
+
+func TestWithMesh(t *testing.T) {
+	cfg := Default().WithMesh(8, 8)
+	if cfg.Tiles != 64 || cfg.MeshWidth != 8 || cfg.MeshHeight != 8 {
+		t.Fatalf("WithMesh(8,8): tiles %d, dims %dx%d", cfg.Tiles, cfg.MeshWidth, cfg.MeshHeight)
+	}
+	if want := []int{0, 7, 56, 63}; !reflect.DeepEqual(cfg.MCTiles, want) {
+		t.Errorf("MC tiles %v, want corners %v", cfg.MCTiles, want)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("WithMesh(8,8) config invalid: %v", err)
+	}
+	// Interleaving scales with the dims: home tiles cover all 64 slices
+	// and channels cover all four controllers.
+	homes := map[int]bool{}
+	chans := map[int]bool{}
+	for line := uint32(0); line < 1024; line++ {
+		homes[cfg.HomeTile(line)] = true
+		chans[cfg.Channel(line)] = true
+	}
+	if len(homes) != 64 {
+		t.Errorf("home-tile interleaving reached %d of 64 slices", len(homes))
+	}
+	if len(chans) != len(cfg.MCTiles) {
+		t.Errorf("channel interleaving reached %d of %d controllers", len(chans), len(cfg.MCTiles))
+	}
+}
+
+// TestValidateMCPlacement pins the cross-check that caught the hardcoded
+// 4x4 corners: every MC tile must be in range for the tile count AND a
+// corner of the configured grid.
+func TestValidateMCPlacement(t *testing.T) {
+	cfg := Default().WithMesh(8, 8)
+
+	bad := cfg
+	bad.MCTiles = []int{0, 3, 12, 15} // the 4x4 literal: interior tiles on 8x8
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "corner") {
+		t.Errorf("4x4 corner literal on an 8x8 mesh: err = %v, want a corner complaint", err)
+	}
+
+	oor := Default()
+	oor.MCTiles = []int{0, 99}
+	if err := oor.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range MC tile: err = %v, want out-of-range complaint", err)
+	}
+
+	mismatch := Default()
+	mismatch.MeshWidth = 8 // Tiles stays 16: dims and count disagree
+	if err := mismatch.Validate(); err == nil {
+		t.Error("tiles != width*height passed Validate")
+	}
+}

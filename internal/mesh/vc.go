@@ -42,6 +42,26 @@ package mesh
 // queues recycle their backing arrays. A steady-state tick performs zero
 // heap allocations; vc_alloc_test.go pins that with testing.AllocsPerRun.
 //
+// O(active) ticks: a tick visits only the nodes that hold staged packets,
+// found through activeMask — a bitmask with bit n set exactly while
+// nodes[n].active > 0 (set in startInjection and allocVC when a node
+// gains its first stage, cleared in release when its last stage retires).
+// Iteration goes word by word via bits.TrailingZeros64, i.e. in the same
+// ascending node order as the old full scan, which is what keeps the
+// cross-node allocation coupling deterministic (a release at node i frees
+// a downstream VC that a later node j > i can claim in the same cycle,
+// exactly as before). A bit set mid-tick by allocVC is behavior-neutral
+// either way: the newly staged stage has no buffered flits yet (its
+// arrival ring is empty until forward pushes with a future timestamp), so
+// visiting it or not forwards nothing and moves no round-robin pointer.
+// Link advancement is batched by construction: an in-flight flit lives in
+// a downstream arrival ring with a future arrival stamp and costs nothing
+// per cycle, so an uncontended packet keeps at most two nodes active (the
+// stage it streams from and the stage allocated downstream) and its full
+// traversal costs O(hops) node visits total — not O(hops·tiles) as under
+// the full scan. The skip-ahead horizon composes: an idle fabric still
+// jumps the kernel, and a sparse fabric now ticks in O(active).
+//
 // Deadlock freedom: routing is minimal and dimension-ordered, and the VCs
 // are split into two dateline classes — packets start in class 0 and move
 // to class 1 for the rest of the dimension after crossing a wraparound
@@ -152,6 +172,17 @@ type vcRouter struct {
 	nodes    []vcNode
 	inFlight int
 
+	// activeMask has bit n set exactly while nodes[n].active > 0; tick and
+	// nextArrival iterate it instead of scanning every node. The invariant
+	// is maintained by startInjection/allocVC (set) and release (clear)
+	// and pinned by TestVCActiveMaskInvariant.
+	activeMask []uint64
+
+	// tickVisits counts nodes visited by tick since construction — the
+	// work counter behind the O(active) test (per-tick visits on a sparse
+	// mesh are bounded by the traffic's footprint, not the tile count).
+	tickVisits uint64
+
 	// wake is the cycle before which no staged flit can make progress
 	// (set by a no-progress tick; 0 = the next tick must do a full scan).
 	// inject resets it: a new header invalidates the frozen-state proof.
@@ -188,6 +219,7 @@ func newVCRouter(m *Mesh) *vcRouter {
 	ports := m.topo.Ports()
 	r := &vcRouter{m: m, vcs: vcs, depth: depth, eject: ports}
 	r.nodes = make([]vcNode, m.topo.Tiles())
+	r.activeMask = make([]uint64, (len(r.nodes)+63)/64)
 	for i := range r.nodes {
 		nd := &r.nodes[i]
 		nd.downTo = make([]int, ports)
@@ -259,6 +291,12 @@ func (r *vcRouter) inject(src, dst, flits int, payload any) int {
 	return r.m.topo.Hops(src, dst)
 }
 
+// markActive and clearActive maintain the active-node bitmask; they are
+// the only writers, called exactly on a node's 0->1 and 1->0 stage-count
+// transitions.
+func (r *vcRouter) markActive(n int)  { r.activeMask[n>>6] |= 1 << uint(n&63) }
+func (r *vcRouter) clearActive(n int) { r.activeMask[n>>6] &^= 1 << uint(n&63) }
+
 // startInjection stages the head of a source queue for switch allocation.
 func (r *vcRouter) startInjection(n int, nd *vcNode) {
 	s := &nd.inj
@@ -270,6 +308,9 @@ func (r *vcRouter) startInjection(n int, nd *vcNode) {
 	s.outPort, _ = r.m.topo.NextPort(n, s.pkt.dst)
 	nd.cand[s.outPort] |= 1 << uint(s.id)
 	nd.active++
+	if nd.active == 1 {
+		r.markActive(n)
+	}
 }
 
 // pushCredit queues a credit return for cycle at (always now+LinkLatency,
@@ -319,28 +360,36 @@ func (r *vcRouter) tick() {
 		return
 	}
 	progressed := false
-	for i := range r.nodes {
-		nd := &r.nodes[i]
-		if nd.active == 0 {
-			continue
-		}
-		for j := range nd.usedIn {
-			nd.usedIn[j] = false
-		}
-		if r.wide {
-			for out := 0; out <= r.eject; out++ {
-				if r.serviceOutputScan(i, nd, out, now) {
-					progressed = true
-				}
+	// Visit only active nodes, in ascending node order (the same order as
+	// the old full scan — required, since a release at node i can free a
+	// downstream VC that a later node j claims this same cycle). Each mask
+	// word is snapshotted when reached: bits set into it mid-tick by
+	// allocVC belong to stages with empty arrival rings that cannot
+	// forward this cycle, so skipping them is bit-identical (see the
+	// package comment).
+	for w, word := range r.activeMask {
+		for ; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			nd := &r.nodes[i]
+			r.tickVisits++
+			for j := range nd.usedIn {
+				nd.usedIn[j] = false
 			}
-			continue
-		}
-		for out := 0; out <= r.eject; out++ {
-			if nd.cand[out] == 0 {
+			if r.wide {
+				for out := 0; out <= r.eject; out++ {
+					if r.serviceOutputScan(i, nd, out, now) {
+						progressed = true
+					}
+				}
 				continue
 			}
-			if r.serviceOutput(i, nd, out, now) {
-				progressed = true
+			for out := 0; out <= r.eject; out++ {
+				if nd.cand[out] == 0 {
+					continue
+				}
+				if r.serviceOutput(i, nd, out, now) {
+					progressed = true
+				}
 			}
 		}
 	}
@@ -378,18 +427,17 @@ func (r *vcRouter) tick() {
 // flit's arrival, which the caller accounts separately.
 func (r *vcRouter) nextArrival(now int64) int64 {
 	min := int64(math.MaxInt64)
-	for i := range r.nodes {
-		nd := &r.nodes[i]
-		if nd.active == 0 {
-			continue
-		}
-		for p := range nd.in {
-			row := nd.in[p]
-			for v := range row {
-				b := &row[v]
-				if b.pkt != nil && b.arrLen > 0 {
-					if t := b.arrFront(); t > now && t < min {
-						min = t
+	for w, word := range r.activeMask {
+		for ; word != 0; word &= word - 1 {
+			nd := &r.nodes[w<<6+bits.TrailingZeros64(word)]
+			for p := range nd.in {
+				row := nd.in[p]
+				for v := range row {
+					b := &row[v]
+					if b.pkt != nil && b.arrLen > 0 {
+						if t := b.arrFront(); t > now && t < min {
+							min = t
+						}
 					}
 				}
 			}
@@ -527,6 +575,9 @@ func (r *vcRouter) allocVC(nd *vcNode, s *hopState, out int) bool {
 		}
 		down.cand[tgt.outPort] |= 1 << uint(tgt.id)
 		down.active++
+		if down.active == 1 {
+			r.markActive(d)
+		}
 		return true
 	}
 	return false
@@ -574,6 +625,9 @@ func (r *vcRouter) forward(n int, nd *vcNode, out, inPort, vcIdx int, s *hopStat
 func (r *vcRouter) release(n int, nd *vcNode, s *hopState) {
 	nd.cand[s.outPort] &^= 1 << uint(s.id)
 	nd.active--
+	if nd.active == 0 {
+		r.clearActive(n)
+	}
 	if s == &nd.inj {
 		nd.injQ[nd.injHead] = nil // drop the reference for the free list
 		nd.injHead++

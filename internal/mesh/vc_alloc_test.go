@@ -7,27 +7,36 @@ import (
 )
 
 // TestVCTickZeroAlloc pins the allocation-free steady state of the vc
-// router: once the free lists, rings and queue backing arrays are warm,
-// ticking the network — switch allocation, credit returns, deliveries and
-// re-injection included — must perform zero heap allocations. This is the
-// guard that keeps the PR6 free lists from silently regressing.
+// router at the paper's 4x4 and at 16x16: once the free lists, rings and
+// queue backing arrays are warm, ticking the network — switch allocation,
+// credit returns, deliveries and re-injection included — must perform
+// zero heap allocations. This is the guard that keeps the PR6 free lists
+// (and the PR8 active-node mask, which must not allocate either) from
+// silently regressing.
 func TestVCTickZeroAlloc(t *testing.T) {
+	t.Run("4x4", func(t *testing.T) { testVCTickZeroAlloc(t, 4, 4) })
+	t.Run("16x16", func(t *testing.T) { testVCTickZeroAlloc(t, 16, 16) })
+}
+
+func testVCTickZeroAlloc(t *testing.T, w, h int) {
 	k := &sim.Kernel{}
-	m := New(k, Config{Width: 4, Height: 4, Router: "vc", LinkLatency: 3, LocalLatency: 1})
+	m := New(k, Config{Width: w, Height: h, Router: "vc", LinkLatency: 3, LocalLatency: 1})
 	for tile := 0; tile < m.Tiles(); tile++ {
 		m.Register(tile, func(any) {})
 	}
 
 	// A deterministic burst of crossing multi-flit packets: corner-to-corner
-	// streams plus same-column traffic, enough to exercise VC allocation,
-	// credit stalls and the ejection path at once.
+	// streams plus nearby traffic, enough to exercise VC allocation, credit
+	// stalls and the ejection path at once. Corners are computed from the
+	// dims so the same shape runs on any grid.
+	last := m.Tiles() - 1
 	burst := func() {
-		m.Send(0, 15, 5, nil)
-		m.Send(15, 0, 5, nil)
-		m.Send(3, 12, 5, nil)
-		m.Send(12, 3, 5, nil)
-		m.Send(1, 13, 5, nil)
-		m.Send(5, 6, 5, nil)
+		m.Send(0, last, 5, nil)
+		m.Send(last, 0, 5, nil)
+		m.Send(w-1, last-(w-1), 5, nil)
+		m.Send(last-(w-1), w-1, 5, nil)
+		m.Send(1, last-2, 5, nil)
+		m.Send(w+1, w+2, 5, nil)
 	}
 
 	// Warm every pool: packet free list, delivery free list, credit ring,

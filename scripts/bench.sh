@@ -11,18 +11,21 @@
 # concentration, vc injection-rate curve endpoints) track the PR 5 sweep
 # engine, and the vc-router throughput benches (BenchmarkSimThroughputVC*)
 # plus the kernel microbenches track the PR 6 hot-path work, alongside the
-# figure stacks. Compare two snapshots with:
-#   go run ./scripts/benchjson -compare BENCH_pr5.json BENCH_pr6.json
+# figure stacks. The mesh-scaling benches (SimThroughputVCMesh*, the
+# router-isolated BenchmarkVC* in internal/mesh) track the PR 8 geometry
+# axis and the O(active) tick path. Compare two snapshots with:
+#   go run ./scripts/benchjson -compare BENCH_pr6.json BENCH_pr8.json
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
-# The kernel microbenches are too fast for -benchtime=1x to mean anything,
-# so they get a fixed iteration count instead.
+out="${1:-BENCH_pr8.json}"
+# The kernel and router microbenches are too fast for -benchtime=1x to
+# mean anything, so they get fixed iteration counts instead.
 {
   go test -bench=. -benchmem -benchtime=1x -run '^$' -timeout 60m .
   go test -bench=. -benchmem -benchtime=100000x -run '^$' ./internal/sim
+  go test -bench=. -benchmem -benchtime=10000x -run '^$' ./internal/mesh
 } | tee /dev/stderr \
   | go run ./scripts/benchjson > "$out"
 echo "wrote $out" >&2

@@ -69,4 +69,20 @@ diff -u "$work/ref.txt" "$work/cached.txt"
 grep -F "$NPOINTS/$NPOINTS points complete ($NPOINTS cached, 0 simulated)" "$work/cached.err" \
   || { echo "rerun simulated points it should have served from cache:"; cat "$work/cached.err"; exit 1; }
 
+# The mesh axis re-dimensions the whole fabric per point, and the point
+# key hashes the dimensions — an 8x8 point must persist, reload under
+# its own key, and never be confused with the 4x4 point.
+echo "== mesh-axis sweep: the 8x8 point caches and reloads under the dims-aware key"
+mcache="$work/mesh-cache"
+MARGS=(-sweep mesh=4x4,8x8 -router vc -size tiny -benchmarks 'hotspot(t=1)' -protocols MESI)
+"$work/trafficsim" "${MARGS[@]}" -q > "$work/mesh-ref.txt"
+"$work/trafficsim" "${MARGS[@]}" -cachedir "$mcache" > "$work/mesh-first.txt" 2>"$work/mesh-first.err"
+diff -u "$work/mesh-ref.txt" "$work/mesh-first.txt"
+grep -F "2/2 points complete (0 cached, 2 simulated)" "$work/mesh-first.err" \
+  || { echo "first mesh sweep did not simulate both points:"; cat "$work/mesh-first.err"; exit 1; }
+"$work/trafficsim" "${MARGS[@]}" -cachedir "$mcache" -resume > "$work/mesh-cached.txt" 2>"$work/mesh-cached.err"
+diff -u "$work/mesh-ref.txt" "$work/mesh-cached.txt"
+grep -F "2/2 points complete (2 cached, 0 simulated)" "$work/mesh-cached.err" \
+  || { echo "mesh rerun simulated points it should have served from cache:"; cat "$work/mesh-cached.err"; exit 1; }
+
 echo "resume smoke OK"
