@@ -3,18 +3,20 @@
 // plus the inventories of every registry axis the scenario space is built
 // from: NoC topologies, router models, protocol specs, workload specs,
 // and the sweepable axes trafficsim -sweep turns into curve tables.
+//
+// The tables themselves come from job.FprintInventory, the same renderer
+// the simserver /v1/catalog endpoint serves; this command is the stdout
+// shim over it.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/memsys"
-	"repro/internal/mesh"
-	"repro/internal/workloads"
+	"repro/internal/job"
 )
 
 func main() {
@@ -22,130 +24,7 @@ func main() {
 		strings.Join(core.MeshPresets(), ", ")+")")
 	flag.Parse()
 
-	cfg := memsys.Default()
-	if w, h, err := memsys.ParseMeshDims(*meshDims); err != nil {
+	if err := job.FprintInventory(os.Stdout, *meshDims); err != nil {
 		log.Fatal(err)
-	} else {
-		cfg = cfg.WithMesh(w, h)
 	}
-	fmt.Println("Table 4.1 — Simulated system parameters")
-	rows := [][2]string{
-		{"Core", "2 GHz, in-order (1 cycle per non-memory instruction)"},
-		{"L1D Cache (private)", fmt.Sprintf("%d KB, %d-way set associative, %d byte cache lines",
-			cfg.L1Bytes/1024, cfg.L1Assoc, memsys.LineBytes)},
-		{"L2 Cache (shared)", fmt.Sprintf("%d KB slices (%d MB total), %d-way set associative, %d byte cache lines",
-			cfg.L2SliceBytes/1024, cfg.L2SliceBytes*cfg.Tiles/(1024*1024), cfg.L2Assoc, memsys.LineBytes)},
-		{"Network", fmt.Sprintf("%dx%d %s, 16 byte links, %d cycle link latency, 1 control + %d data flits/packet",
-			cfg.MeshWidth, cfg.MeshHeight, cfg.Topology, cfg.LinkLatency, cfg.MaxDataFlits)},
-		{"Memory Controller", fmt.Sprintf("FR-FCFS scheduling, open page policy, %d corner-tile controllers", len(cfg.MCTiles))},
-		{"DRAM", fmt.Sprintf("DDR3-1066, %d banks, %d KB rows", cfg.DRAM.Banks, cfg.DRAM.RowBytes/1024)},
-		{"Store buffer", fmt.Sprintf("%d pending non-blocking writes per core", cfg.StoreBufferEntries)},
-		{"Write combining", fmt.Sprintf("%d entries, %d cycle timeout (DeNovo)", cfg.WriteCombineEntries, cfg.WriteCombineTimeout)},
-		{"Bloom filters", fmt.Sprintf("%d filters x %d entries per L2 slice (DBypFull)", cfg.Bloom.FiltersPerSlice, cfg.Bloom.Entries)},
-	}
-	for _, r := range rows {
-		fmt.Printf("  %-22s %s\n", r[0], r[1])
-	}
-
-	fmt.Println("\nNoC topologies (trafficsim -topology; route lengths drive all flit-hop telemetry)")
-	fmt.Printf("  %-8s %6s %6s %10s %9s %9s\n", "kind", "tiles", "ports", "dir.links", "diameter", "avg hops")
-	for _, kind := range mesh.TopologyKinds() {
-		t, err := mesh.NewTopology(kind, cfg.MeshWidth, cfg.MeshHeight)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-8s %6d %6d %10d %9d %9.2f\n",
-			kind, t.Tiles(), t.Ports(), len(t.Links()), mesh.Diameter(t), mesh.AvgHops(t))
-	}
-
-	fmt.Println("\nRouter models (trafficsim -router; packet latencies and congestion telemetry follow the model)")
-	for _, kind := range mesh.RouterKinds() {
-		fmt.Printf("  %-8s %s\n", kind, mesh.RouterDescription(kind))
-	}
-
-	fmt.Println("\nProtocol registry (trafficsim -protocols; specs compose as base+Option)")
-	fmt.Printf("  %-22s %-8s %-9s %s\n", "spec", "family", "kind", "options")
-	inventory := core.RegistryInventory()
-	for _, v := range inventory {
-		kind := "canonical"
-		switch {
-		case v.Canonical:
-		case strings.Contains(v.Spec, "+"):
-			kind = "composed"
-		default:
-			kind = "extension" // DBypHW: a named alias beyond the paper's nine
-		}
-		opts := strings.Join(v.Options, "+")
-		if opts == "" {
-			opts = "-"
-		}
-		fmt.Printf("  %-22s %-8s %-9s %s\n", v.Spec, v.Family, kind, opts)
-	}
-	fmt.Println("\n  Option tokens:")
-	for _, o := range core.OptionCatalog() {
-		fmt.Printf("    %-8s [%s] %s\n", o.Token, strings.Join(o.Families, ","), o.Desc)
-	}
-	registryWorkloads := workloads.RegistryWorkloads()
-	meshPresets := core.MeshPresets()
-	nScenarios := core.ScenarioCount(len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), len(meshPresets))
-	fmt.Printf("\n  Scenario space: %d registered protocols x %d workloads x %d topologies x %d routers x %d mesh presets = %d configurations\n",
-		len(inventory), len(registryWorkloads), len(mesh.TopologyKinds()), len(mesh.RouterKinds()), len(meshPresets), nScenarios)
-
-	fmt.Println("\nWorkload registry (trafficsim -benchmarks; specs are name(key=value,...))")
-	fmt.Printf("  %-10s %-9s %s\n", "name", "kind", "description")
-	for _, w := range workloads.SpecCatalog() {
-		kind := "benchmark"
-		if w.Synthetic {
-			kind = "synthetic"
-		}
-		fmt.Printf("  %-10s %-9s %s\n", w.Name, kind, w.Desc)
-		for _, p := range w.Params {
-			def := p.Default
-			if def == "" {
-				def = "required"
-			}
-			fmt.Printf("  %-10s   %-7s   %s=%s: %s\n", "", "", p.Key, def, p.Desc)
-		}
-	}
-	fmt.Println("\n  Preset parameter variants (counted in the scenario space):")
-	for _, spec := range workloads.PresetVariants() {
-		fmt.Printf("    %s\n", spec)
-	}
-
-	fmt.Println("\nSweep axes (trafficsim -sweep; one assembled curve table per sweep)")
-	fmt.Printf("  %-10s %-20s %s\n", "axis", "values", "description")
-	for _, a := range core.SweepAxisCatalog() {
-		vals := strings.Join(a.Values, ",")
-		if vals == "" {
-			vals = a.Hint
-		}
-		fmt.Printf("  %-10s %-20s %s\n", a.Name, vals, a.Desc)
-	}
-	fmt.Println("  Any numeric parameter in the workload registry above sweeps too,")
-	fmt.Println("  as a range (lo..hi[..step]) or a value list:")
-	for _, ex := range []string{
-		"trafficsim -sweep 'hotspot(t=1..16)'            # saturation vs hot-tile concentration",
-		"trafficsim -sweep 'uniform(p=0.01..0.09..0.02)' # load-latency curve vs injection rate",
-		"trafficsim -sweep 'hotspot(t=1,2,4,p=0.1)'      # value list, fixed co-parameter",
-		"trafficsim -sweep vcs=2,4,8 -router vc          # buffer ablation on the vc router",
-		"trafficsim -sweep mesh=4x4,8x8,16x16 -router vc # scaling curve vs fabric size",
-	} {
-		fmt.Printf("    %s\n", ex)
-	}
-
-	fmt.Println("\nTable 4.2 — Application input sizes (per scale)")
-	fmt.Printf("  %-14s %-12s %-12s %-12s\n", "application", "tiny", "small", "paper")
-	for _, name := range workloads.Names() {
-		fmt.Printf("  %-14s", name)
-		for _, size := range []workloads.Size{workloads.Tiny, workloads.Small, workloads.Paper} {
-			p, err := workloads.ByName(name, size, 16)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(" %9.1f MB", float64(p.FootprintBytes())/(1024*1024))
-		}
-		fmt.Println()
-	}
-	fmt.Println("\nCache capacities scale with the input size (Config.Scaled) so the")
-	fmt.Println("working-set-to-capacity ratios match the paper's; see DESIGN.md.")
 }

@@ -1,0 +1,105 @@
+// Command simserver runs the simulation-as-a-service HTTP transport: a
+// bounded job queue over the same run-orchestration layer the CLIs use
+// (internal/job), so a request submitted over HTTP produces exactly the
+// same tables trafficsim prints — bit-identically, including when served
+// from the shared content-addressed cache.
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/jobs             submit a job.Request; 202 with the job id
+//	GET    /v1/jobs/{id}        status + progress counts
+//	GET    /v1/jobs/{id}/events unified progress stream, NDJSON, resumable
+//	                            with ?from=<seq>
+//	GET    /v1/jobs/{id}/result assembled result; ?format=text renders the
+//	                            CLI's exact bytes
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /v1/catalog          registry inventories (papertables), text
+//	GET    /v1/healthz          liveness
+//
+// Example session:
+//
+//	simserver -addr :8080 -cachedir /tmp/points &
+//	curl -s localhost:8080/v1/jobs -d '{"sweep":"hotspot(t=1,2)","protocols":["MESI"]}'
+//	curl -s localhost:8080/v1/jobs/job-1/events
+//	curl -s 'localhost:8080/v1/jobs/job-1/result?format=text'
+//
+// SIGINT/SIGTERM drain gracefully: no new submissions, queued jobs are
+// cancelled, running jobs get -grace to finish (partial sweep results
+// stay persisted in the cache for the next identical submission to
+// resume from), then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	bound := flag.Int("bound", 16, "queued-job bound; submissions past it get 503 + Retry-After")
+	executors := flag.Int("executors", 1, "jobs running concurrently (one already saturates the host via the engine's worker pool)")
+	cachedir := flag.String("cachedir", "", "shared content-addressed result store: identical submissions are served from it bit-identically, and cancelled sweeps keep their finished points there")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for running jobs before their contexts are cancelled")
+	flag.Parse()
+
+	qopts := job.QueueOptions{Bound: *bound, Executors: *executors}
+	if *cachedir != "" {
+		cache, err := core.OpenPointCache(*cachedir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		qopts.Cache = cache
+	}
+	q := job.NewQueue(qopts)
+
+	srv := &http.Server{Addr: *addr, Handler: job.NewServer(q)}
+
+	// Serve until the first SIGINT/SIGTERM, then drain: stop accepting
+	// (listener closes after in-flight requests finish), cancel queued
+	// jobs, give running jobs the grace period, and only then force-cancel
+	// — the order that never loses a completed point.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("simserver listening on %s (bound %d, executors %d)", *addr, *bound, *executors)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port in use, ...): nothing is
+		// running yet that a drain would save.
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Printf("simserver draining (grace %s)", *grace)
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), *grace)
+	defer cancelGrace()
+	q.Shutdown(graceCtx)
+	// The queue is fully drained; give straggling HTTP responses (event
+	// streams end at the terminal state they just reached) a moment to
+	// flush before closing the listener.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	log.Printf("simserver stopped")
+	return 0
+}

@@ -14,6 +14,11 @@
 // over a workload parameter (see cmd/papertables for all inventories, and
 // docs/GUIDE.md for a walkthrough).
 //
+// The command is a flag-parsing shim over internal/job: flags become a
+// job.Request, job.Run executes it, and the renderers here turn the
+// unified event stream back into the exact progress lines and tables this
+// tool has always printed.
+//
 // Examples:
 //
 //	trafficsim -fig 5.1a -size small
@@ -49,7 +54,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
-	"repro/internal/memsys"
+	"repro/internal/job"
 	"repro/internal/mesh"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -100,10 +105,6 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "-record only records a trace; drop -sweep/-fig/-summary (replay the trace in a later run)")
 		return 2
 	}
-	if (*vcs != 0 || *vcdepth != 0) && *router != "vc" {
-		fmt.Fprintln(os.Stderr, "-vcs/-vcdepth configure the vc router and are dead under any other model; add -router vc")
-		return 2
-	}
 	if *resume && *cachedir == "" {
 		fmt.Fprintln(os.Stderr, "-resume loads finished points from the point cache; add -cachedir (the same one the interrupted run used)")
 		return 2
@@ -112,50 +113,53 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "-maxpoints %d: the sweep cap must be >= 1 (default %d)\n", *maxpoints, core.DefaultSweepPointCap)
 		return 2
 	}
+	explicit := job.Explicit(flag.CommandLine)
 	if *sweep == "" {
-		explicitFlags := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
 		for _, name := range []string{"cachedir", "resume", "maxpoints"} {
-			if explicitFlags[name] {
+			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s configures sweep runs and is dead without one; add -sweep\n", name)
 				return 2
 			}
 		}
 	}
 
-	var size workloads.Size
-	switch *sizeName {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "paper":
-		size = workloads.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
-		return 2
-	}
-
-	// Fail fast on unknown figure ids and workload specs, before paying
-	// for any simulation.
-	ids := []string{*fig}
-	if *fig == "all" {
-		ids = core.FigureIDs()
+	// Only pin the axis knobs the user actually passed: the engine applies
+	// the same defaults (mesh, ideal, 16 threads) to zero-valued Request
+	// fields, and a sweep over an axis must be able to tell "defaulted"
+	// from "explicit" — sweeping topology with an explicit -topology is a
+	// conflict error, sweeping it against the default is the normal case.
+	req := job.Request{
+		Summary:    *summary,
+		Size:       *sizeName,
+		Benchmarks: job.SplitSpecs(*benchCSV),
+		Protocols:  job.SplitList(*protoCSV),
+		Sweep:      *sweep,
+		VCs:        *vcs,
+		VCDepth:    *vcdepth,
+		Workers:    *workers,
+		MaxPoints:  *maxpoints,
 	}
 	if *fig != "" {
-		for _, id := range ids {
-			if err := core.ValidFigureID(id); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-		}
+		req.Figures = []string{*fig}
 	}
-	benchmarks := splitSpecs(*benchCSV)
-	for _, spec := range benchmarks {
-		if _, err := workloads.ParseSpec(spec); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
+	if explicit["threads"] {
+		req.Threads = *threads
+	}
+	if explicit["mesh"] {
+		req.Mesh = *meshDims
+	}
+	if explicit["topology"] {
+		req.Topology = *topology
+	}
+	if explicit["router"] {
+		req.Router = *router
+	}
+	// Fail fast — unknown names, malformed specs, axis-ownership conflicts
+	// — before paying for any simulation; validation errors keep their
+	// usage-error exit code.
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	// Profiling wraps everything that can cost time (record, sweep, or the
@@ -176,11 +180,12 @@ func run() (code int) {
 	}()
 
 	if *record != "" {
-		if len(benchmarks) != 1 {
+		if len(req.Benchmarks) != 1 {
 			fmt.Fprintln(os.Stderr, "-record needs exactly one workload in -benchmarks")
 			return 2
 		}
-		prog, err := workloads.ByName(benchmarks[0], size, *threads)
+		size, _ := job.SizeFromName(*sizeName) // validated above
+		prog, err := workloads.ByName(req.Benchmarks[0], size, *threads)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -196,89 +201,41 @@ func run() (code int) {
 		return
 	}
 
-	// Only pin the axis knobs the user actually passed: the engine applies
-	// the same defaults (mesh, ideal, 16 threads) to zero values, and a
-	// sweep over an axis must be able to tell "defaulted" from "explicit"
-	// — sweeping topology with an explicit -topology is a conflict error,
-	// sweeping it against the default is the normal case.
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	opt := core.MatrixOptions{Size: size, Workers: *workers, VCs: *vcs, VCDepth: *vcdepth}
-	if explicit["threads"] {
-		opt.Threads = *threads
-	}
-	if explicit["mesh"] {
-		w, h, err := memsys.ParseMeshDims(*meshDims)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
+	// One renderer over the unified event stream reproduces both progress
+	// vocabularies: per-cell "running bench / proto" lines for matrix runs,
+	// per-point "sweep point i/N" lines for sweeps. Cache corruption and
+	// store failures are loud even under -q — the point's result is still
+	// correct, but silent self-healing would hide a real problem (disk,
+	// tampering) and a later -resume will resimulate an unpersisted point.
+	isSweep := req.IsSweep()
+	rc := job.RunConfig{Events: func(ev job.Event) {
+		switch ev.Kind {
+		case job.KindCell:
+			if !isSweep && !*quiet {
+				fmt.Fprintf(os.Stderr, "running %s / %s...\n", ev.Bench, ev.Protocol)
+			}
+		case job.KindPoint:
+			switch ev.Status {
+			case job.StatusCacheCorrupt:
+				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: cache entry corrupt, resimulating: %s\n",
+					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Error)
+			case job.StatusStoreFailed:
+				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: completed but not persisted to the cache: %s\n",
+					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Error)
+			default:
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n",
+						ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)
+				}
+			}
 		}
-		opt.MeshWidth, opt.MeshHeight = w, h
-	}
-	if explicit["topology"] {
-		opt.Topology = *topology
-	}
-	if explicit["router"] {
-		opt.Router = *router
-	}
-	if *protoCSV != "" {
-		opt.Protocols = splitCSV(*protoCSV)
-	}
-	if len(benchmarks) > 0 {
-		opt.Benchmarks = benchmarks
-	}
-	if !*quiet {
-		opt.Progress = func(b, p string) { fmt.Fprintf(os.Stderr, "running %s / %s...\n", b, p) }
-	}
+	}}
 
-	if *sweep != "" {
-		if *fig != "" || *summary {
-			fmt.Fprintln(os.Stderr, "-sweep prints its own assembled table; drop -fig/-summary")
-			return 2
-		}
-		// Fail fast before any simulation if the spec is malformed,
-		// collides with an explicitly pinned axis, or would be a no-op.
-		// RunSweepOpt re-resolves the spec internally; the duplicate parse
-		// costs microseconds and buys usage errors their exit code 2.
-		s, err := core.ParseSweepLimit(*sweep, *maxpoints)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		if _, err := s.PointOptions(opt); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		// Sweep-level progress replaces the per-cell lines: a long sweep
-		// reports "point i/N" with the axis value and whether the point
-		// came from the cache, so it never looks hung. Cache corruption
-		// is loud even under -q — the entry is resimulated, but silent
-		// self-healing would hide a real problem (disk, tampering).
-		opt.Progress = nil
-		sopt := core.SweepOptions{MaxPoints: *maxpoints}
+	if isSweep {
 		if *cachedir != "" {
-			if sopt.Cache, err = core.OpenPointCache(*cachedir); err != nil {
+			if rc.Cache, err = core.OpenPointCache(*cachedir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 2
-			}
-		}
-		sopt.Progress = func(ev core.SweepProgress) {
-			if ev.Status == core.SweepPointCacheCorrupt {
-				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: cache entry corrupt, resimulating: %v\n",
-					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Err)
-				return
-			}
-			// A store failure does not fail the sweep (the point's result
-			// is in the table); it is loud even under -q because a later
-			// -resume will resimulate the unpersisted point.
-			if ev.Status == core.SweepPointStoreFailed {
-				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: completed but not persisted to the cache: %v\n",
-					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Err)
-				return
-			}
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n",
-					ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)
 			}
 		}
 		// Interrupts cancel the pool at the next cell boundary instead of
@@ -287,7 +244,11 @@ func run() (code int) {
 		// most the cells in flight.
 		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stopSignals()
-		res, err := core.RunSweepOpt(ctx, opt, *sweep, sopt)
+		out, err := job.Run(ctx, req, rc)
+		var res *core.SweepResult
+		if out != nil {
+			res = out.Sweep
+		}
 		if res != nil && !*quiet {
 			ncached := 0
 			for _, p := range res.Points {
@@ -315,52 +276,21 @@ func run() (code int) {
 			}
 			return 1
 		}
-		// The header states only the knobs that are actually pinned across
-		// the whole sweep — never the axis being swept (the conflict check
-		// above already rules out pinning that one explicitly).
-		var pins []string
-		if explicit["mesh"] && s.Axis != "mesh" {
-			pins = append(pins, "mesh: "+memsys.FormatMeshDims(opt.MeshWidth, opt.MeshHeight))
+		if err := out.RenderText(os.Stdout, req); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
-		if explicit["topology"] && s.Axis != "topology" {
-			pins = append(pins, "topology: "+*topology)
-		}
-		if explicit["router"] && s.Axis != "router" {
-			pins = append(pins, "router: "+*router)
-		}
-		if len(pins) > 0 {
-			fmt.Printf("NoC %s\n\n", strings.Join(pins, ", "))
-		}
-		fmt.Println(res.Table())
 		return
 	}
 
-	m, err := core.RunMatrix(opt)
+	out, err := job.Run(context.Background(), req, rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-
-	if m.Topology != "mesh" || m.Router != "ideal" || explicit["mesh"] {
-		header := fmt.Sprintf("NoC topology: %s, router: %s", m.Topology, m.Router)
-		if explicit["mesh"] {
-			header += ", mesh: " + memsys.FormatMeshDims(opt.MeshWidth, opt.MeshHeight)
-		}
-		fmt.Printf("%s\n\n", header)
-	}
-
-	if *fig != "" {
-		for _, id := range ids {
-			t, err := m.Figure(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
-			fmt.Println(t)
-		}
-	}
-	if *summary {
-		fmt.Println(m.Summarize())
+	if err := out.RenderText(os.Stdout, req); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	return 0
 }
@@ -429,43 +359,4 @@ func routerHelp() string {
 		parts = append(parts, fmt.Sprintf("%s (%s)", kind, mesh.RouterDescription(kind)))
 	}
 	return strings.Join(parts, ", ")
-}
-
-func splitCSV(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// splitSpecs splits a comma-separated workload-spec list, keeping commas
-// inside parameter lists intact: "hotspot(t=2,p=0.1),FFT" is two specs.
-func splitSpecs(s string) []string {
-	var out []string
-	depth, start := 0, 0
-	flush := func(end int) {
-		if p := strings.TrimSpace(s[start:end]); p != "" {
-			out = append(out, p)
-		}
-	}
-	for i, r := range s {
-		switch r {
-		case '(':
-			depth++
-		case ')':
-			if depth > 0 {
-				depth--
-			}
-		case ',':
-			if depth == 0 {
-				flush(i)
-				start = i + 1
-			}
-		}
-	}
-	flush(len(s))
-	return out
 }

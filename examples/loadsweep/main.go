@@ -4,6 +4,10 @@
 // slice — and the assembled table shows how traffic, packet latency, link
 // heat and waste move along the axis for each protocol, the form the
 // paper's "are we there yet?" question is answered in.
+//
+// The sweep itself runs through internal/job (the same orchestration
+// layer trafficsim and the simserver share); what stays here is the
+// flag parsing and the ASCII latency-curve rendering.
 package main
 
 import (
@@ -15,8 +19,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/memsys"
-	"repro/internal/workloads"
 )
 
 func main() {
@@ -34,40 +38,31 @@ func main() {
 	if *maxpoints < 1 {
 		log.Fatalf("-maxpoints %d: the sweep cap must be >= 1 (default %d)", *maxpoints, core.DefaultSweepPointCap)
 	}
-
-	var size workloads.Size
-	switch *sizeName {
-	case "tiny":
-		size = workloads.Tiny
-	case "small":
-		size = workloads.Small
-	case "paper":
-		size = workloads.Paper
-	default:
-		log.Fatalf("unknown size %q", *sizeName)
+	if _, err := job.SizeFromName(*sizeName); err != nil {
+		log.Fatal(err)
 	}
 
 	// Pin topology/router only when passed explicitly, so engine-axis
 	// sweeps over them (-sweep topology=...) don't see a phantom conflict
 	// with the flag defaults.
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	opt := core.MatrixOptions{
-		Size:    size,
-		Workers: *workers,
+	explicit := job.Explicit(flag.CommandLine)
+	req := job.Request{
+		Sweep:     *spec,
+		Size:      *sizeName,
+		Workers:   *workers,
+		MaxPoints: *maxpoints,
 	}
 	if explicit["mesh"] {
-		w, h, err := memsys.ParseMeshDims(*meshDims)
-		if err != nil {
+		if _, _, err := memsys.ParseMeshDims(*meshDims); err != nil {
 			log.Fatal(err)
 		}
-		opt.MeshWidth, opt.MeshHeight = w, h
+		req.Mesh = *meshDims
 	}
 	if explicit["topology"] {
-		opt.Topology = *topology
+		req.Topology = *topology
 	}
 	if explicit["router"] {
-		opt.Router = *router
+		req.Router = *router
 	}
 	// A protocol-axis sweep owns the protocol list: an explicitly passed
 	// -protocols is an error (matching trafficsim), and the flag's default
@@ -83,10 +78,7 @@ func main() {
 	}
 	if parsed.Axis != "protocol" {
 		var protos []string
-		for _, p := range strings.Split(*protoCSV, ",") {
-			if p = strings.TrimSpace(p); p == "" {
-				continue
-			}
+		for _, p := range job.SplitList(*protoCSV) {
 			v, err := core.ParseProtocol(p)
 			if err != nil {
 				log.Fatal(err)
@@ -94,7 +86,7 @@ func main() {
 			protos = append(protos, v.Spec)
 		}
 		if len(protos) > 0 {
-			opt.Protocols = protos
+			req.Protocols = protos
 		}
 	}
 
@@ -102,24 +94,24 @@ func main() {
 	// than per-cell lines: the point is the unit a long sweep is watched
 	// in. With -cachedir each completed point persists as the sweep runs,
 	// so a killed run resumes by rerunning the same command.
-	sopt := core.SweepOptions{
-		MaxPoints: *maxpoints,
-		Progress: func(ev core.SweepProgress) {
+	rc := job.RunConfig{Events: func(ev job.Event) {
+		if ev.Kind == job.KindPoint {
 			fmt.Fprintf(os.Stderr, "sweep point %d/%d %s=%s: %s\n", ev.Point+1, ev.Total, ev.Axis, ev.Value, ev.Status)
-		},
-	}
+		}
+	}}
 	if *cachedir != "" {
-		if sopt.Cache, err = core.OpenPointCache(*cachedir); err != nil {
+		if rc.Cache, err = core.OpenPointCache(*cachedir); err != nil {
 			log.Fatal(err)
 		}
 	}
-	res, err := core.RunSweepOpt(context.Background(), opt, *spec, sopt)
+	out, err := job.Run(context.Background(), req, rc)
 	if err != nil {
-		if res != nil && len(res.Points) > 0 && *cachedir != "" {
-			log.Printf("%d/%d points are persisted in %s; rerun to resume", len(res.Points), res.Expected, *cachedir)
+		if out != nil && out.Sweep != nil && len(out.Sweep.Points) > 0 && *cachedir != "" {
+			log.Printf("%d/%d points are persisted in %s; rerun to resume", len(out.Sweep.Points), out.Sweep.Expected, *cachedir)
 		}
 		log.Fatal(err)
 	}
+	res := out.Sweep
 	table := res.Table()
 	fmt.Println(table)
 

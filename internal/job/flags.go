@@ -1,0 +1,63 @@
+package job
+
+import (
+	"flag"
+	"strings"
+)
+
+// Explicit reports which flags were actually passed on the command line.
+// The distinction is load-bearing for sweeps: the engine applies the
+// same defaults (mesh topology, ideal router, 16 threads) to zero-valued
+// request fields, and a sweep over an axis must tell "defaulted" from
+// "pinned" — sweeping topology against an explicit -topology is a
+// conflict error, sweeping it against the default is the normal case.
+// Every CLI used to hand-roll this flag.Visit loop (trafficsim twice);
+// one helper keeps the explicitness semantics from drifting between call
+// sites.
+func Explicit(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// SplitList splits a comma-separated list, trimming whitespace and
+// dropping empty pieces — the shape of -protocols and every other plain
+// CSV flag.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SplitSpecs splits a comma-separated workload-spec list, keeping commas
+// inside parameter lists intact: "hotspot(t=2,p=0.1),FFT" is two specs.
+func SplitSpecs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if p := strings.TrimSpace(s[start:end]); p != "" {
+			out = append(out, p)
+		}
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}

@@ -29,6 +29,7 @@ import (
 // opportunistically.
 var fullCoverage = map[string]bool{
 	"internal/core":      true,
+	"internal/job":       true,
 	"internal/workloads": true,
 	"internal/trace":     true,
 	"internal/mesh":      true,
