@@ -235,6 +235,25 @@ func BenchmarkSimThroughputVCUniform(b *testing.B) {
 	ablationRun(b, "MESI", "uniform", vcRun)
 }
 
+// End-to-end throughput on the deflection router (the PR 10 third
+// fabric model): the bufferless tick loop replaces vc's credit and
+// allocation machinery with oldest-first arbitration plus the endpoint
+// reorder buffer. The hotspot shape is the interesting one — it is where
+// deflections (and the DeflectedHops waste category) actually occur.
+func deflRun(c *memsys.Config) { c.Router = "deflection" }
+
+func BenchmarkSimThroughputDeflectionMESI(b *testing.B) {
+	ablationRun(b, "MESI", "LU", deflRun)
+}
+
+func BenchmarkSimThroughputDeflectionHotspot(b *testing.B) {
+	ablationRun(b, "MESI", "hotspot(t=1)", deflRun)
+}
+
+func BenchmarkSimThroughputDeflectionUniform(b *testing.B) {
+	ablationRun(b, "MESI", "uniform", deflRun)
+}
+
 // Mesh-scaling throughput (the PR 8 geometry axis): the same vc-router
 // end-to-end runs on re-dimensioned fabrics. The 16 worker threads map to
 // the first 16 of 64/256 tiles, so the larger grids are sparser — on a

@@ -356,7 +356,11 @@ func optionTokens() string {
 func routerHelp() string {
 	var parts []string
 	for _, kind := range mesh.RouterKinds() {
-		parts = append(parts, fmt.Sprintf("%s (%s)", kind, mesh.RouterDescription(kind)))
+		desc, err := mesh.RouterDescription(kind)
+		if err != nil {
+			panic(err) // kinds come from the registry itself
+		}
+		parts = append(parts, fmt.Sprintf("%s (%s)", kind, desc))
 	}
 	return strings.Join(parts, ", ")
 }

@@ -150,7 +150,8 @@ type MatrixOptions struct {
 	MeshWidth  int
 	MeshHeight int
 	// Router selects the fabric's forwarding model for every cell:
-	// "ideal" (default) or "vc" (the cycle-level VC wormhole router).
+	// "ideal" (default), "vc" (the cycle-level VC wormhole router), or
+	// "deflection" (the cycle-level bufferless deflection router).
 	Router string
 	// VCs overrides the vc router's virtual-channel count per input port
 	// for every cell (0 = the model default; must be even and >= 2, see

@@ -243,9 +243,11 @@ func (m *Matrix) Fig53c() *Table {
 // FigCongestion builds the congestion-telemetry table (not a paper
 // figure): for each cell, the mean and worst packet latency over the
 // measured window, the mean and hottest directed-link utilization
-// (percent of cycles busy), and the peak VC buffer occupancy. Values are
-// raw, not normalized to MESI — latencies are only comparable within one
-// router model, which the title records.
+// (percent of cycles busy), the peak buffer occupancy (input-VC flits
+// under "vc", local-queue flits under "deflection"), and the deflected
+// link traversals (nonzero only under "deflection"). Values are raw, not
+// normalized to MESI — latencies are only comparable within one router
+// model, which the title records.
 func (m *Matrix) FigCongestion() *Table {
 	router := m.Router
 	if router == "" {
@@ -254,7 +256,7 @@ func (m *Matrix) FigCongestion() *Table {
 	t := &Table{
 		ID:      "Net",
 		Title:   fmt.Sprintf("Congestion telemetry (router=%s, topology=%s)", router, m.Topology),
-		Columns: []string{"Mean Lat", "Max Lat", "Link Util%", "Max Util%", "Peak VC"},
+		Columns: []string{"Mean Lat", "Max Lat", "Link Util%", "Max Util%", "Peak VC", "Defl Hops"},
 		Raw:     true,
 	}
 	t.Rows = m.eachRow(func(res, base *Result) []float64 {
@@ -265,6 +267,7 @@ func (m *Matrix) FigCongestion() *Table {
 			n.LinkUtilMean * 100,
 			n.LinkUtilMax * 100,
 			float64(n.PeakVCOccupancy),
+			float64(n.DeflectedHops),
 		}
 	})
 	return t

@@ -175,10 +175,10 @@ func TestRegistryInventory(t *testing.T) {
 		t.Errorf("%d composed variants, want >= 3", composed)
 	}
 	// The scenario space the ISSUE targets: registered protocols x six
-	// benchmarks x three topologies x two router models x three mesh
+	// benchmarks x three topologies x three router models x three mesh
 	// presets.
-	if n := core.ScenarioCount(6, 3, 2, len(core.MeshPresets())); n < 1200 {
-		t.Errorf("scenario space %d, want >= 1200", n)
+	if n := core.ScenarioCount(6, 3, 3, len(core.MeshPresets())); n < 1800 {
+		t.Errorf("scenario space %d, want >= 1800", n)
 	}
 }
 

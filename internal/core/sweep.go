@@ -863,8 +863,15 @@ func RunSweepOpt(ctx context.Context, opt MatrixOptions, spec string, sopt Sweep
 // utilization (percent of cycles busy), the wasted share of all traffic
 // (percent of flit-hops), and the share of words fetched into the L1 that
 // were never used (percent) — the load-latency and waste-vs-load curve
-// data in one table.
+// data in one table. A sweep with at least one deflection-routed cell
+// grows a trailing "Defl%" column (the share of link traversals that were
+// deflected detours); sweeps without one keep the historical column set,
+// which the sweep golden pins byte-for-byte.
 var sweepColumns = []string{"Traffic", "Cycles", "MeanLat", "MaxLat", "Util%", "Waste%", "L1Waste%"}
+
+// deflColumn is the conditional trailing column: deflected link
+// traversals as a percentage of all traversals the fabric carried.
+const deflColumn = "Defl%"
 
 // SweepTable is the assembled sweep output: one row per
 // (point, benchmark, protocol) cell with the curve quantities, in sweep
@@ -893,8 +900,25 @@ type SweepRow struct {
 }
 
 // Table assembles the sweep's curve table from the per-point matrices.
+// The Defl% column appears only when some cell ran the deflection router
+// (a router=... sweep, or a base configuration pinning it), so tables of
+// purely buffered sweeps are unchanged.
 func (r *SweepResult) Table() *SweepTable {
-	t := &SweepTable{Spec: r.Spec, Axis: r.Axis, Columns: sweepColumns}
+	hasDefl := false
+	for _, p := range r.Points {
+		for _, bench := range p.Matrix.Benchmarks {
+			for _, proto := range p.Matrix.Protocols {
+				if res := p.Matrix.Get(bench, proto); res != nil && res.Net.Router == "deflection" {
+					hasDefl = true
+				}
+			}
+		}
+	}
+	cols := sweepColumns
+	if hasDefl {
+		cols = append(append([]string{}, sweepColumns...), deflColumn)
+	}
+	t := &SweepTable{Spec: r.Spec, Axis: r.Axis, Columns: cols}
 	for _, p := range r.Points {
 		m := p.Matrix
 		for _, bench := range m.Benchmarks {
@@ -907,19 +931,30 @@ func (r *SweepResult) Table() *SweepTable {
 				if total := float64(res.WasteTotal(waste.LevelL1)); total > 0 {
 					l1waste = 100 * (1 - float64(res.Waste[waste.LevelL1][waste.Used])/total)
 				}
+				values := []float64{
+					res.Total(),
+					float64(res.ExecCycles),
+					res.Net.LatencyMean,
+					float64(res.Net.LatencyMax),
+					res.Net.LinkUtilMax * 100,
+					res.WasteShare * 100,
+					l1waste,
+				}
+				if hasDefl {
+					// Deflected share of all traversals: minimal flit-hops
+					// (res.Total) plus the deflected detours; 0 for the
+					// non-deflection cells of a router=... sweep.
+					deflPct := 0.0
+					if d := float64(res.Net.DeflectedHops); d > 0 {
+						deflPct = 100 * d / (res.Total() + d)
+					}
+					values = append(values, deflPct)
+				}
 				t.Rows = append(t.Rows, SweepRow{
 					Point:    p.Value,
 					Bench:    bench,
 					Protocol: proto,
-					Values: []float64{
-						res.Total(),
-						float64(res.ExecCycles),
-						res.Net.LatencyMean,
-						float64(res.Net.LatencyMax),
-						res.Net.LinkUtilMax * 100,
-						res.WasteShare * 100,
-						l1waste,
-					},
+					Values:   values,
 				})
 			}
 		}

@@ -152,9 +152,9 @@ func TestValidFigureID(t *testing.T) {
 // the vc router exercises the cycle-level tick pipeline.
 func TestKernelNeverClampsTinyMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full Tiny matrices are slow; run without -short")
+		t.Skip("three full Tiny matrices are slow; run without -short")
 	}
-	for _, router := range []string{"ideal", "vc"} {
+	for _, router := range []string{"ideal", "vc", "deflection"} {
 		m, err := core.RunMatrix(core.MatrixOptions{Size: workloads.Tiny, Router: router})
 		if err != nil {
 			t.Fatal(err)

@@ -57,7 +57,11 @@ func FprintInventory(w io.Writer, dims string) error {
 
 	fmt.Fprintln(w, "\nRouter models (trafficsim -router; packet latencies and congestion telemetry follow the model)")
 	for _, kind := range mesh.RouterKinds() {
-		fmt.Fprintf(w, "  %-8s %s\n", kind, mesh.RouterDescription(kind))
+		desc, err := mesh.RouterDescription(kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-8s %s\n", kind, desc)
 	}
 
 	fmt.Fprintln(w, "\nProtocol registry (trafficsim -protocols; specs compose as base+Option)")

@@ -49,11 +49,13 @@ type Config struct {
 	// lengths — and therefore all flit-hop telemetry — follow it.
 	Topology string
 	// Router selects the fabric's forwarding model: "ideal" (the paper's
-	// injection-time link reservation, the default) or "vc" (a
+	// injection-time link reservation, the default), "vc" (a
 	// cycle-level wormhole router with per-port input VCs, credit-based
-	// flow control and round-robin allocation). Packet latencies — and
-	// therefore the congestion telemetry — follow it; flit-hop traffic
-	// accounting is identical under both.
+	// flow control and round-robin allocation), or "deflection" (a
+	// cycle-level bufferless router that misroutes on contention instead
+	// of buffering, reporting the detours as NetStats.DeflectedHops).
+	// Packet latencies — and therefore the congestion telemetry — follow
+	// it; minimal flit-hop traffic accounting is identical under all.
 	Router string
 	// VCs is the vc router's virtual-channel count per input port
 	// (0 = default 2). It must be even and at least 2: the dateline

@@ -23,11 +23,17 @@
 //   - Router "vc": a cycle-level wormhole router with per-port input VCs,
 //     credit-based flow control and round-robin VC/switch allocation (see
 //     vc.go), which exposes the congestion effects the ideal model hides.
+//   - Router "deflection": a cycle-level minimally-buffered router (see
+//     deflect.go) that misroutes on contention instead of buffering —
+//     oldest-first arbitration, losers deflected onto free ports, a small
+//     per-node side buffer — trading buffer cost for extra link
+//     traversals, surfaced as the DeflectedHops waste category.
 //
-// Either way the fabric records congestion telemetry — a packet-latency
-// histogram, per-link utilization, and (for "vc") peak VC buffer
-// occupancy — snapshotted with Stats and zeroed with ResetStats at the
-// start of the measured window.
+// Whatever the model, the fabric records congestion telemetry — a
+// packet-latency histogram, per-link utilization, peak buffer occupancy
+// (input-VC flits under "vc", injection-plus-side-buffer flits under
+// "deflection"), and deflected hops — snapshotted with Stats and zeroed
+// with ResetStats at the start of the measured window.
 package mesh
 
 import (
@@ -41,7 +47,7 @@ import (
 type Config struct {
 	Width, Height int    // tiles in X and Y (the ring linearizes them)
 	Topology      string // "mesh" (default), "ring", or "torus"
-	Router        string // "ideal" (default) or "vc"
+	Router        string // "ideal" (default), "vc", or "deflection"
 	VCs           int    // vc router: virtual channels per input port (default 2; must be even >= 2 for the dateline class split)
 	VCDepth       int    // vc router: flit buffer depth per VC (default 4)
 	LinkLatency   int64  // cycles for a flit to traverse one link
@@ -75,7 +81,8 @@ type Mesh struct {
 	latMax     int64
 	latHist    [LatencyBins]uint64
 	linkBusy   [][]int64 // [tile][port] flit-cycles of link occupancy
-	peakVC     int       // vc router: max buffered flits in any input VC
+	peakVC     int       // peak buffering: max flits in any input VC (vc) or node local queue (deflection)
+	deflHops   uint64    // deflection router: link traversals beyond the minimal routes
 
 	delFree *delivery // free list of pending-delivery records
 }
@@ -231,7 +238,15 @@ type NetStats struct {
 	LinkUtilMean float64 // mean directed-link utilization (flit-cycles/cycle)
 	LinkUtilMax  float64 // utilization of the hottest directed link
 
-	PeakVCOccupancy int // vc router: max flits buffered in any input VC (0 for ideal)
+	// PeakVCOccupancy is the deepest buffering the window saw: the max
+	// flits in any input VC under "vc", the max injection-backlog plus
+	// side-buffer flits at any node under "deflection" (0 for ideal).
+	PeakVCOccupancy int
+
+	// DeflectedHops counts link traversals taken beyond the packets'
+	// minimal routes — the deflection router's waste category (buffer
+	// cost traded for extra traversals; 0 under "ideal" and "vc").
+	DeflectedHops uint64
 }
 
 // Stats snapshots the congestion telemetry accumulated since the last
@@ -244,6 +259,7 @@ func (m *Mesh) Stats() NetStats {
 		LatencyMax:      m.latMax,
 		LatencyHist:     m.latHist,
 		PeakVCOccupancy: m.peakVC,
+		DeflectedHops:   m.deflHops,
 	}
 	if m.delivered > 0 {
 		s.LatencyMean = float64(m.latSum) / float64(m.delivered)
@@ -278,6 +294,7 @@ func (m *Mesh) ResetStats() {
 		}
 	}
 	m.peakVC = 0
+	m.deflHops = 0
 }
 
 func abs(v int) int {

@@ -13,6 +13,8 @@ var routerRegistry = []struct {
 		func(m *Mesh) router { return newIdealRouter(m) }},
 	{"vc", "cycle-level wormhole router: per-port input VCs, credit flow control, round-robin allocation",
 		func(m *Mesh) router { return newVCRouter(m) }},
+	{"deflection", "cycle-level bufferless router: oldest-first arbitration, contention deflects instead of buffering",
+		func(m *Mesh) router { return newDeflRouter(m) }},
 }
 
 // RouterKinds lists the registered router models in presentation order.
@@ -25,17 +27,20 @@ func RouterKinds() []string {
 }
 
 // RouterDescription returns the one-line inventory description of a
-// registered router kind (used by cmd/papertables).
-func RouterDescription(kind string) string {
+// registered router kind (used by cmd/papertables and /v1/catalog). The
+// empty string describes the default ("ideal"); an unregistered kind is
+// an error — it used to return "" silently, which let a registry or
+// inventory drift print an empty papertables row.
+func RouterDescription(kind string) (string, error) {
 	if kind == "" {
 		kind = "ideal"
 	}
 	for _, r := range routerRegistry {
 		if r.kind == kind {
-			return r.desc
+			return r.desc, nil
 		}
 	}
-	return ""
+	return "", fmt.Errorf("mesh: unknown router %q (have %v)", kind, RouterKinds())
 }
 
 // ValidRouter reports whether kind names a registered router model. The

@@ -23,8 +23,8 @@ func TestRouterRegistry(t *testing.T) {
 		if err := ValidRouter(kind); err != nil {
 			t.Errorf("registered router %q rejected: %v", kind, err)
 		}
-		if RouterDescription(kind) == "" {
-			t.Errorf("registered router %q has no description", kind)
+		if desc, err := RouterDescription(kind); err != nil || desc == "" {
+			t.Errorf("registered router %q has no description (err %v)", kind, err)
 		}
 		k := &sim.Kernel{}
 		m := New(k, Config{Width: 2, Height: 2, Router: kind, LinkLatency: 1})
@@ -35,8 +35,16 @@ func TestRouterRegistry(t *testing.T) {
 	if err := ValidRouter(""); err != nil {
 		t.Errorf("empty router rejected: %v", err)
 	}
+	if desc, err := RouterDescription(""); err != nil || desc == "" {
+		t.Errorf("default router description missing (err %v)", err)
+	}
 	if err := ValidRouter("bufferless"); err == nil {
 		t.Error("unknown router accepted")
+	}
+	// Regression: an unregistered kind used to describe itself as "",
+	// which printed an empty inventory row instead of failing.
+	if desc, err := RouterDescription("bufferless"); err == nil {
+		t.Errorf("unknown router described as %q; want a loud error", desc)
 	}
 	defer func() {
 		if recover() == nil {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the benchmark trajectory snapshot (BENCH_pr6.json).
+# Regenerate the benchmark trajectory snapshot (BENCH_pr10.json).
 #
 # One iteration per benchmark (-benchtime=1x): the headline values are the
 # reported custom metrics — percent-of-MESI figure stacks over the
@@ -13,13 +13,16 @@
 # plus the kernel microbenches track the PR 6 hot-path work, alongside the
 # figure stacks. The mesh-scaling benches (SimThroughputVCMesh*, the
 # router-isolated BenchmarkVC* in internal/mesh) track the PR 8 geometry
-# axis and the O(active) tick path. Compare two snapshots with:
-#   go run ./scripts/benchjson -compare BENCH_pr6.json BENCH_pr8.json
+# axis and the O(active) tick path, and the deflection-router benches
+# (SimThroughputDeflection*, the router-isolated BenchmarkDefl* in
+# internal/mesh) track the PR 10 bufferless model. Compare two snapshots
+# with:
+#   go run ./scripts/benchjson -compare BENCH_pr8.json BENCH_pr10.json
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr10.json}"
 # The kernel and router microbenches are too fast for -benchtime=1x to
 # mean anything, so they get fixed iteration counts instead.
 {
